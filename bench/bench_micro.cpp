@@ -1,0 +1,116 @@
+// E10 — Microbenchmarks (google-benchmark): marshaling and identifier
+// machinery costs in *wall-clock* time. These are the per-message CPU costs
+// underneath every simulated metric in E1-E9.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "giop/giop.hpp"
+#include "rep/wire.hpp"
+#include "totem/wire.hpp"
+
+using namespace eternal;
+
+namespace {
+
+void BM_CdrEncodePrimitives(benchmark::State& state) {
+  for (auto _ : state) {
+    cdr::Encoder enc;
+    for (int i = 0; i < 16; ++i) {
+      enc.put_ulong(static_cast<std::uint32_t>(i));
+      enc.put_ulonglong(static_cast<std::uint64_t>(i) << 32);
+      enc.put_double(1.5 * i);
+    }
+    benchmark::DoNotOptimize(enc.data().data());
+  }
+}
+BENCHMARK(BM_CdrEncodePrimitives);
+
+void BM_CdrStringRoundTrip(benchmark::State& state) {
+  const std::string s(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    cdr::Encoder enc;
+    enc.put_string(s);
+    cdr::Decoder dec(enc.data());
+    benchmark::DoNotOptimize(dec.get_string());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CdrStringRoundTrip)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GiopRequestRoundTrip(benchmark::State& state) {
+  giop::RequestHeader hdr;
+  hdr.request_id = 42;
+  hdr.object_key = {'g', 'r', 'o', 'u', 'p'};
+  hdr.operation = "increment";
+  cdr::Bytes body(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    cdr::Bytes wire = giop::encode_request(hdr, body);
+    giop::Message msg = giop::decode(wire);
+    benchmark::DoNotOptimize(msg.request->operation.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GiopRequestRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EnvelopeRoundTrip(benchmark::State& state) {
+  rep::Envelope env;
+  env.kind = rep::Kind::Invocation;
+  env.op_id = {{7, 1234}, 3};
+  env.target_group = "acct.checking";
+  env.reply_group = "teller";
+  env.source_group = "teller";
+  env.giop = cdr::Bytes(256, 0xCD);
+  for (auto _ : state) {
+    cdr::Bytes wire = rep::encode(env);
+    rep::Envelope out = rep::decode_envelope(wire);
+    benchmark::DoNotOptimize(out.target_group.data());
+  }
+}
+BENCHMARK(BM_EnvelopeRoundTrip);
+
+void BM_TotemDataRoundTrip(benchmark::State& state) {
+  totem::Packet pkt;
+  pkt.kind = totem::MsgKind::Data;
+  pkt.data.ring = {42, 0};
+  pkt.data.seq = 1234;
+  pkt.data.origin = 3;
+  pkt.data.group = "inventory";
+  pkt.data.payload = cdr::Bytes(512, 0xEF);
+  for (auto _ : state) {
+    totem::Bytes wire = totem::encode(pkt);
+    totem::Packet out = totem::decode_packet(wire);
+    benchmark::DoNotOptimize(out.data.payload.data());
+  }
+}
+BENCHMARK(BM_TotemDataRoundTrip);
+
+void BM_OperationIdTableLookup(benchmark::State& state) {
+  std::map<rep::OperationId, int> table;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    table[{{i / 64, i % 64}, i}] = static_cast<int>(i);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    rep::OperationId key{{i / 64, i % 64}, i};
+    benchmark::DoNotOptimize(table.find(key));
+    i = (i + 1) % 4096;
+  }
+}
+BENCHMARK(BM_OperationIdTableLookup);
+
+void BM_FtRequestContext(benchmark::State& state) {
+  giop::FtRequestContext ctx;
+  ctx.client_id = "client.4";
+  ctx.retention_id = 77;
+  ctx.expiration_time = 123456789;
+  for (auto _ : state) {
+    auto bytes = ctx.encode();
+    benchmark::DoNotOptimize(giop::FtRequestContext::decode(bytes));
+  }
+}
+BENCHMARK(BM_FtRequestContext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

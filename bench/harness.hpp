@@ -1,0 +1,102 @@
+// Shared scaffolding for the experiment harnesses (bench_*).
+//
+// Each bench binary regenerates one table/figure of the evaluation: it
+// builds a simulated cluster, drives a workload, and prints a markdown
+// table of *simulated-time* metrics. EXPERIMENTS.md records how each maps
+// to the paper's evaluation and how the shapes compare.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/servants.hpp"
+#include "ft/replication_manager.hpp"
+#include "rep/domain.hpp"
+#include "util/stats.hpp"
+
+namespace eternal::bench {
+
+struct FtCluster {
+  explicit FtCluster(std::size_t n, std::uint64_t seed = 1,
+                     rep::EngineParams ep = {}, totem::Params tp = {})
+      : sim(seed), net(sim, n), fabric(sim, net, tp), domain(fabric, ep),
+        rm(domain, notifier) {
+    fabric.start_all();
+    fabric.run_until_converged(2 * sim::kSecond);
+    sim.run_for(300 * sim::kMillisecond);
+  }
+
+  void settle(sim::Time t = sim::kSecond) { sim.run_for(t); }
+
+  /// Client round trip in simulated microseconds; drives the simulation.
+  sim::Time timed_call(sim::NodeId node, const std::string& group,
+                       const std::string& op, cdr::Bytes args) {
+    const sim::Time start = sim.now();
+    domain.client(node).invoke_blocking(group, op, std::move(args),
+                                        30 * sim::kSecond);
+    return sim.now() - start;
+  }
+
+  sim::Simulation sim;
+  sim::Network net;
+  totem::Fabric fabric;
+  rep::Domain domain;
+  ft::FaultNotifier notifier;
+  ft::ReplicationManager rm;
+};
+
+inline cdr::Bytes i64_arg(std::int64_t v) {
+  cdr::Encoder enc;
+  enc.put_longlong(v);
+  return enc.take();
+}
+
+inline cdr::Bytes payload_arg(std::size_t bytes) {
+  cdr::Encoder enc;
+  enc.put_octet_seq(cdr::Bytes(bytes, 0xAB));
+  return enc.take();
+}
+
+/// Markdown table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    auto line = [](const std::vector<std::string>& cells) {
+      std::string out = "|";
+      for (const auto& c : cells) out += " " + c + " |";
+      std::puts(out.c_str());
+    };
+    line(headers_);
+    std::vector<std::string> sep;
+    for (std::size_t i = 0; i < headers_.size(); ++i) sep.push_back("---");
+    line(sep);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n## %s — %s\n\n", id.c_str(), title.c_str());
+}
+
+}  // namespace eternal::bench

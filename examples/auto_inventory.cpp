@@ -1,0 +1,100 @@
+// The paper's automobile sales scenario (its Section 8 / Figure 8).
+//
+// An inventory object is replicated at a factory and two showrooms. One
+// showroom loses its network link and *keeps selling* (continued operation
+// in all components of a partitioned system). When the link is restored,
+// the primary component's state is transferred to the disconnected
+// showroom, and the sales it made while disconnected are replayed as
+// fulfillment operations — generating a back order and a rush manufacturing
+// order for the car both showrooms sold.
+//
+//   $ ./auto_inventory
+#include <cstdio>
+
+#include "app/servants.hpp"
+#include "rep/domain.hpp"
+
+using namespace eternal;
+
+namespace {
+
+constexpr sim::NodeId kFactory = 0;
+constexpr sim::NodeId kShowroomA = 1;
+constexpr sim::NodeId kShowroomB = 2;
+
+std::string sell(rep::Domain& domain, sim::NodeId showroom) {
+  cdr::Bytes reply =
+      domain.client(showroom).invoke_blocking("inventory", "sell", {});
+  cdr::Decoder dec(reply);
+  return dec.get_string();
+}
+
+void report(rep::Domain& domain, sim::NodeId node, const char* who) {
+  cdr::Bytes reply =
+      domain.client(node).invoke_blocking("inventory", "report", {});
+  cdr::Decoder dec(reply);
+  const auto stock = dec.get_longlong();
+  const auto shipped = dec.get_longlong();
+  const auto back = dec.get_longlong();
+  const auto rush = dec.get_longlong();
+  std::printf("  [%s] stock=%lld shipped=%lld back_orders=%lld "
+              "rush_orders=%lld\n",
+              who, static_cast<long long>(stock),
+              static_cast<long long>(shipped), static_cast<long long>(back),
+              static_cast<long long>(rush));
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation sim(7);
+  sim::Network net(sim, 4);
+  totem::Fabric fabric(sim, net);
+  rep::Domain domain(fabric);
+  fabric.start_all();
+  fabric.run_until_converged(2 * sim::kSecond);
+
+  domain.host_on<app::Inventory>(
+      rep::GroupConfig{"inventory", rep::Style::Active},
+      {kFactory, kShowroomA, kShowroomB});
+  sim.run_for(sim::kSecond);
+
+  // The factory manufactures two automobiles.
+  cdr::Encoder make;
+  make.put_longlong(2);
+  domain.client(kFactory).invoke_blocking("inventory", "manufacture",
+                                          make.take());
+  std::printf("factory manufactured 2 cars\n");
+  report(domain, kFactory, "factory");
+
+  // Showroom B loses its link to the factory and showroom A.
+  std::printf("\n-- showroom B disconnected --\n");
+  net.set_partitions({{kFactory, kShowroomA, 3}, {kShowroomB}});
+  fabric.run_until_converged(5 * sim::kSecond);
+  sim.run_for(500 * sim::kMillisecond);
+
+  // Both showrooms sell a car; B's sale happens in the secondary component
+  // and is queued as a fulfillment operation.
+  std::printf("showroom A sells: %s\n", sell(domain, kShowroomA).c_str());
+  std::printf("showroom B sells: %s   (disconnected: recorded for "
+              "fulfillment)\n",
+              sell(domain, kShowroomB).c_str());
+  std::printf("showroom B sells: %s   (the same car A already sold!)\n",
+              sell(domain, kShowroomB).c_str());
+  report(domain, kShowroomA, "primary component ");
+  report(domain, kShowroomB, "secondary component");
+
+  // The link is repaired: state transfer + fulfillment replay reconcile.
+  std::printf("\n-- link restored: remerging --\n");
+  net.heal_partitions();
+  fabric.run_until_converged(5 * sim::kSecond);
+  sim.run_for(3 * sim::kSecond);
+
+  report(domain, kFactory, "factory   ");
+  report(domain, kShowroomA, "showroom A");
+  report(domain, kShowroomB, "showroom B");
+  std::printf("\nall replicas agree: 3 customers served from 2 cars — one "
+              "back order with a rush manufacturing order, exactly as the "
+              "paper's fulfillment algorithm prescribes\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Live upgrade: the system the paper wanted to "run forever".
+//
+// The same machinery that masks a replica's *failure* can mask its
+// *deliberate removal*: we roll a three-replica key-value service across a
+// disjoint set of processors — add an upgraded replica (state transfer),
+// retire an old one, repeat — while a client continuously reads and writes.
+// The service never stops; no operation is lost or duplicated.
+//
+//   $ ./live_upgrade
+#include <cstdio>
+
+#include "app/servants.hpp"
+#include "ft/replication_manager.hpp"
+
+using namespace eternal;
+
+int main() {
+  sim::Simulation sim(11);
+  sim::Network net(sim, 7);
+  totem::Fabric fabric(sim, net);
+  rep::Domain domain(fabric);
+  ft::FaultNotifier notifier;
+  ft::ReplicationManager rm(domain, notifier);
+  fabric.start_all();
+  fabric.run_until_converged(2 * sim::kSecond);
+
+  rm.register_factory(
+      "kv", [](sim::NodeId) { return std::make_shared<app::KvStore>(); });
+  ft::Properties props;
+  props.replication_style = rep::Style::Active;
+  props.initial_number_replicas = 3;
+  props.minimum_number_replicas = 2;
+  rm.properties().set_properties("kv", props);
+  rm.create_object("kv", std::vector<sim::NodeId>{0, 1, 2});
+  sim.run_for(sim::kSecond);
+
+  rep::Client& client = domain.client(6);
+  std::uint64_t writes = 0;
+  auto put = [&](const std::string& k, const std::string& v) {
+    cdr::Encoder args;
+    args.put_string(k);
+    args.put_string(v);
+    client.invoke_blocking("kv", "put", args.take());
+    ++writes;
+  };
+  auto get = [&](const std::string& k) {
+    cdr::Encoder args;
+    args.put_string(k);
+    cdr::Bytes reply = client.invoke_blocking("kv", "get", args.take());
+    cdr::Decoder dec(reply);
+    dec.get_boolean();
+    return dec.get_string();
+  };
+
+  put("release", "v1");
+  for (int i = 0; i < 20; ++i) put("key" + std::to_string(i), "v1");
+  std::printf("service running on {0,1,2}, release=%s, %llu writes\n",
+              get("release").c_str(),
+              static_cast<unsigned long long>(writes));
+
+  // Rolling upgrade: 0->3, 1->4, 2->5, the service live throughout.
+  const sim::NodeId old_nodes[3] = {0, 1, 2};
+  const sim::NodeId new_nodes[3] = {3, 4, 5};
+  for (int step = 0; step < 3; ++step) {
+    std::printf("-- upgrade step %d: add replica on %u, retire %u --\n",
+                step + 1, new_nodes[step], old_nodes[step]);
+    rm.add_member("kv", new_nodes[step]);
+    sim.run_for(2 * sim::kSecond);  // state transfer completes
+    put("upgraded" + std::to_string(step), "yes");  // service still live
+    rm.remove_member("kv", old_nodes[step]);
+    sim.run_for(sim::kSecond);
+    put("retired" + std::to_string(step), "yes");
+    std::printf("   replicas:");
+    for (auto n : rm.locations_of("kv")) std::printf(" %u", n);
+    std::printf("   release=%s\n", get("release").c_str());
+  }
+
+  put("release", "v2");
+  sim.run_for(sim::kSecond);
+  std::printf("upgrade complete: release=%s on processors", get("release").c_str());
+  for (auto n : rm.locations_of("kv")) std::printf(" %u", n);
+  std::printf("\n%llu writes, zero downtime, zero lost operations — the "
+              "paper's 'eternal' system in action\n",
+              static_cast<unsigned long long>(writes));
+  return 0;
+}

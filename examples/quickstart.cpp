@@ -1,0 +1,74 @@
+// Quickstart: a replicated counter that survives replica failure.
+//
+// Demonstrates the core promise of the fault-tolerant infrastructure: the
+// client keeps calling `incr` on an object *group* — never on a replica —
+// while we crash and replace replicas underneath it. Every reply is
+// exactly-once; the client never sees the faults.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "app/servants.hpp"
+#include "ft/replication_manager.hpp"
+
+using namespace eternal;
+
+int main() {
+  // A five-processor cluster on a simulated LAN.
+  sim::Simulation sim(/*seed=*/42);
+  sim::Network net(sim, 5);
+  totem::Fabric fabric(sim, net);   // total-order group communication
+  rep::Domain domain(fabric);       // the replication infrastructure
+  ft::FaultNotifier notifier;
+  ft::ReplicationManager rm(domain, notifier);
+  fabric.start_all();
+  fabric.run_until_converged(2 * sim::kSecond);
+
+  // Create a counter object group: 3 active replicas, self-healing to 3.
+  rm.register_factory("counter",
+                      [](sim::NodeId) { return std::make_shared<app::Counter>(); });
+  ft::Properties props;
+  props.replication_style = rep::Style::Active;
+  props.initial_number_replicas = 3;
+  props.minimum_number_replicas = 3;
+  rm.properties().set_properties("counter", props);
+  ft::Iogr ref = rm.create_object("counter");
+  sim.run_for(sim::kSecond);
+
+  std::printf("counter group created: %s v%u with %zu replicas\n",
+              ref.group.c_str(), ref.version, ref.profiles.size());
+
+  // A client on processor 4 invokes transparently through the group name.
+  rep::Client& client = domain.client(4);
+  auto incr = [&](std::int64_t d) {
+    cdr::Encoder args;
+    args.put_longlong(d);
+    cdr::Bytes reply = client.invoke_blocking("counter", "incr", args.take());
+    cdr::Decoder dec(reply);
+    return dec.get_longlong();
+  };
+
+  std::printf("incr(10) -> %lld\n", static_cast<long long>(incr(10)));
+  std::printf("incr(5)  -> %lld\n", static_cast<long long>(incr(5)));
+
+  // Kill a replica mid-service. The infrastructure detects it, the two
+  // survivors keep answering, and the ReplicationManager spawns a
+  // replacement that acquires the state by three-tier transfer.
+  auto victims = rm.locations_of("counter");
+  std::printf("crashing replica on processor %u ...\n", victims[0]);
+  fabric.crash(victims[0]);
+
+  std::printf("incr(1)  -> %lld   (no client-visible failure)\n",
+              static_cast<long long>(incr(1)));
+  sim.run_for(3 * sim::kSecond);
+
+  std::printf("replicas now on:");
+  for (auto n : rm.locations_of("counter")) std::printf(" %u", n);
+  std::printf("   (auto-respawned: %llu)\n",
+              static_cast<unsigned long long>(rm.replicas_spawned()));
+
+  std::printf("incr(4)  -> %lld\n", static_cast<long long>(incr(4)));
+  std::printf("done: final value 20, three healthy replicas, zero lost or "
+              "duplicated operations\n");
+  return 0;
+}

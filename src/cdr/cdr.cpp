@@ -1,0 +1,96 @@
+#include "cdr/cdr.hpp"
+
+namespace eternal::cdr {
+
+void Encoder::align(std::size_t alignment) {
+  const std::size_t misalign = buf_.size() % alignment;
+  if (misalign != 0) {
+    buf_.insert(buf_.end(), alignment - misalign, 0);
+  }
+}
+
+void Encoder::put_string(std::string_view s) {
+  if (s.size() + 1 > 0xffffffffULL) throw MarshalError("string too long");
+  put_ulong(static_cast<std::uint32_t>(s.size() + 1));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+  buf_.push_back(0);
+}
+
+void Encoder::put_octet_seq(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > 0xffffffffULL) throw MarshalError("sequence too long");
+  put_ulong(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::put_raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::put_encapsulation(const Encoder& inner) {
+  put_octet_seq(inner.data());
+}
+
+Encoder Encoder::make_encapsulation() {
+  Encoder e;
+  e.put_boolean(kHostLittleEndian);
+  return e;
+}
+
+void Decoder::align(std::size_t alignment) {
+  const std::size_t misalign = pos_ % alignment;
+  if (misalign != 0) {
+    const std::size_t pad = alignment - misalign;
+    require(pad);
+    pos_ += pad;
+  }
+}
+
+std::uint8_t Decoder::get_octet() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::string Decoder::get_string() {
+  const std::uint32_t len = get_ulong();
+  if (len == 0) throw MarshalError("CDR string with zero length");
+  require(len);
+  if (data_[pos_ + len - 1] != 0) {
+    throw MarshalError("CDR string missing NUL terminator");
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
+  pos_ += len;
+  return s;
+}
+
+Bytes Decoder::get_octet_seq() {
+  const std::uint32_t len = get_ulong();
+  require(len);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::span<const std::uint8_t> Decoder::get_raw(std::size_t n) {
+  require(n);
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+Decoder Decoder::get_encapsulation() {
+  const std::uint32_t len = get_ulong();
+  require(len);
+  if (len == 0) throw MarshalError("empty encapsulation");
+  auto view = data_.subspan(pos_, len);
+  pos_ += len;
+  // Alignment inside an encapsulation is relative to its first octet (the
+  // endianness flag), so the inner decoder spans the flag and consumes it.
+  Decoder inner(view, /*swap=*/false);
+  const bool content_little = inner.get_boolean();
+  inner.set_swap(content_little != kHostLittleEndian);
+  return inner;
+}
+
+}  // namespace eternal::cdr

@@ -1,0 +1,178 @@
+// CORBA Common Data Representation (CDR) marshaling.
+//
+// Implements the CDR transfer syntax used by GIOP: primitives are aligned to
+// their natural size relative to the start of the stream, strings carry a
+// length (including the terminating NUL) followed by the bytes, sequences
+// carry an element count, and encapsulations are octet sequences that begin
+// with an endianness flag. Both byte orders are supported on read; writes
+// use the host's order and record it in encapsulation flags, exactly as a
+// real ORB does.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eternal::cdr {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown on underflow, malformed lengths, or bounds violations while
+/// demarshaling. A real ORB maps this to the CORBA::MARSHAL system exception.
+class MarshalError : public std::runtime_error {
+ public:
+  explicit MarshalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+constexpr bool kHostLittleEndian = (std::endian::native == std::endian::little);
+
+/// CDR encoder. The stream's alignment origin is the position at
+/// construction; GIOP bodies and encapsulations each start a fresh origin.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  const Bytes& data() const noexcept { return buf_; }
+  Bytes take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  void align(std::size_t alignment);
+
+  void put_octet(std::uint8_t v) { buf_.push_back(v); }
+  void put_boolean(bool v) { put_octet(v ? 1 : 0); }
+  void put_char(char v) { put_octet(static_cast<std::uint8_t>(v)); }
+  void put_ushort(std::uint16_t v) { put_aligned(v); }
+  void put_short(std::int16_t v) { put_aligned(static_cast<std::uint16_t>(v)); }
+  void put_ulong(std::uint32_t v) { put_aligned(v); }
+  void put_long(std::int32_t v) { put_aligned(static_cast<std::uint32_t>(v)); }
+  void put_ulonglong(std::uint64_t v) { put_aligned(v); }
+  void put_longlong(std::int64_t v) {
+    put_aligned(static_cast<std::uint64_t>(v));
+  }
+  void put_float(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    put_aligned(bits);
+  }
+  void put_double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    put_aligned(bits);
+  }
+
+  /// CDR string: ulong length including NUL, bytes, NUL.
+  void put_string(std::string_view s);
+
+  /// sequence<octet>: ulong count then raw bytes.
+  void put_octet_seq(std::span<const std::uint8_t> bytes);
+
+  /// Raw bytes with no count (caller manages framing).
+  void put_raw(std::span<const std::uint8_t> bytes);
+
+  /// An encapsulation is a sequence<octet> whose content is itself a CDR
+  /// stream beginning with a boolean endianness flag.
+  void put_encapsulation(const Encoder& inner);
+
+  /// Begin an encapsulation in-place: writes the endian flag into a fresh
+  /// encoder the caller fills and then passes to put_encapsulation.
+  static Encoder make_encapsulation();
+
+ private:
+  template <typename T>
+  void put_aligned(T v) {
+    align(sizeof(T));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  Bytes buf_;
+};
+
+/// CDR decoder over a borrowed byte span. The decoder does not own the
+/// bytes; callers keep the backing buffer alive for the decoder's lifetime.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data, bool swap = false)
+      : data_(data), swap_(swap) {}
+
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+  void set_swap(bool swap) noexcept { swap_ = swap; }
+  bool swapping() const noexcept { return swap_; }
+
+  void align(std::size_t alignment);
+
+  std::uint8_t get_octet();
+  bool get_boolean() { return get_octet() != 0; }
+  char get_char() { return static_cast<char>(get_octet()); }
+  std::uint16_t get_ushort() { return get_aligned<std::uint16_t>(); }
+  std::int16_t get_short() {
+    return static_cast<std::int16_t>(get_ushort());
+  }
+  std::uint32_t get_ulong() { return get_aligned<std::uint32_t>(); }
+  std::int32_t get_long() { return static_cast<std::int32_t>(get_ulong()); }
+  std::uint64_t get_ulonglong() { return get_aligned<std::uint64_t>(); }
+  std::int64_t get_longlong() {
+    return static_cast<std::int64_t>(get_ulonglong());
+  }
+  float get_float() {
+    const std::uint32_t bits = get_ulong();
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+  double get_double() {
+    const std::uint64_t bits = get_ulonglong();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  std::string get_string();
+  Bytes get_octet_seq();
+  /// View of n raw bytes; throws on underflow.
+  std::span<const std::uint8_t> get_raw(std::size_t n);
+
+  /// Reads a sequence<octet> and returns a decoder over its contents with
+  /// the endian flag already consumed and applied.
+  Decoder get_encapsulation();
+
+ private:
+  template <typename T>
+  T get_aligned() {
+    align(sizeof(T));
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    if (swap_) v = byteswap(v);
+    return v;
+  }
+
+  static std::uint16_t byteswap(std::uint16_t v) noexcept {
+    return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+  }
+  static std::uint32_t byteswap(std::uint32_t v) noexcept {
+    return __builtin_bswap32(v);
+  }
+  static std::uint64_t byteswap(std::uint64_t v) noexcept {
+    return __builtin_bswap64(v);
+  }
+
+  void require(std::size_t n) const {
+    if (remaining() < n) throw MarshalError("CDR underflow");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool swap_ = false;
+};
+
+}  // namespace eternal::cdr

@@ -1,0 +1,70 @@
+// FaultDetector: pull-style liveness monitoring.
+//
+// One detector runs per processor. It answers is_alive pings addressed to
+// its inbox group and monitors remote processors by pinging them at the
+// configured interval; a ping unanswered within the timeout produces a
+// fault report on the FaultNotifier. Detection latency is therefore
+// ~interval + timeout — the tradeoff experiment E8 sweeps.
+//
+// (The replication infrastructure itself learns of faults faster, through
+// the group-communication membership; the FaultDetector exists because the
+// FT-CORBA management plane — and any application-level monitoring — needs
+// an ORB-level is_alive mechanism that works without hosting a replica.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ft/fault_notifier.hpp"
+#include "totem/group.hpp"
+
+namespace eternal::ft {
+
+class FaultDetector {
+ public:
+  FaultDetector(sim::Simulation& sim, totem::GroupLayer& groups,
+                FaultNotifier& notifier);
+
+  /// Begin answering pings (idempotent).
+  void start();
+  void stop();
+
+  /// Monitor `target`: ping every `interval`; report a CRASH fault if a
+  /// pong does not arrive within `timeout`.
+  void monitor(sim::NodeId target, sim::Time interval, sim::Time timeout);
+  void unmonitor(sim::NodeId target);
+  bool monitoring(sim::NodeId target) const {
+    return watches_.count(target) != 0;
+  }
+
+  /// True once a monitored target has been reported faulty (cleared by
+  /// re-monitoring).
+  bool suspects(sim::NodeId target) const;
+
+  static std::string inbox_name(sim::NodeId node) {
+    return "__ftd." + std::to_string(node);
+  }
+
+ private:
+  struct Watch {
+    sim::Time interval = 0;
+    sim::Time timeout = 0;
+    std::uint64_t next_seq = 1;
+    std::uint64_t awaiting_seq = 0;  // 0 = no ping outstanding
+    bool suspected = false;
+    sim::TimerHandle ping_timer;
+    sim::TimerHandle timeout_timer;
+  };
+
+  void on_message(const totem::GroupMessage& m);
+  void send_ping(sim::NodeId target);
+  void schedule_ping(sim::NodeId target, sim::Time delay);
+
+  sim::Simulation& sim_;
+  totem::GroupLayer& groups_;
+  FaultNotifier& notifier_;
+  bool started_ = false;
+  std::map<sim::NodeId, Watch> watches_;
+};
+
+}  // namespace eternal::ft

@@ -1,0 +1,54 @@
+// FaultNotifier: fan-out of fault reports to registered consumers.
+//
+// FaultDetectors push ObjectCrashed / NodeCrashed reports here; consumers
+// (chiefly the ReplicationManager) react. Mirrors the FT-CORBA
+// FaultNotifier's push-consumer interface without the CosNotification
+// baggage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace eternal::ft {
+
+struct FaultReport {
+  sim::NodeId node = 0;       // the suspected/failed processor
+  std::string group;          // affected object group ("" = processor-level)
+  sim::Time when = 0;         // simulated detection time
+  std::string type;           // e.g. "CRASH", "UNREACHABLE"
+};
+
+class FaultNotifier {
+ public:
+  using ConsumerId = std::uint64_t;
+  using Consumer = std::function<void(const FaultReport&)>;
+
+  ConsumerId connect_consumer(Consumer consumer) {
+    const ConsumerId id = next_id_++;
+    consumers_.emplace(id, std::move(consumer));
+    return id;
+  }
+
+  void disconnect_consumer(ConsumerId id) { consumers_.erase(id); }
+
+  void push(const FaultReport& report) {
+    history_.push_back(report);
+    // Copy: a consumer may (dis)connect during delivery.
+    auto consumers = consumers_;
+    for (auto& [id, consumer] : consumers) consumer(report);
+  }
+
+  const std::vector<FaultReport>& history() const { return history_; }
+
+ private:
+  ConsumerId next_id_ = 1;
+  std::map<ConsumerId, Consumer> consumers_;
+  std::vector<FaultReport> history_;
+};
+
+}  // namespace eternal::ft

@@ -1,0 +1,44 @@
+#include "ft/properties.hpp"
+
+namespace eternal::ft {
+
+void PropertyManager::validate(const Properties& props) {
+  if (props.minimum_number_replicas == 0) {
+    throw InvalidProperty("MinimumNumberReplicas must be >= 1");
+  }
+  if (props.initial_number_replicas < props.minimum_number_replicas) {
+    throw InvalidProperty(
+        "InitialNumberReplicas must be >= MinimumNumberReplicas");
+  }
+  if (props.membership_style == MembershipStyle::ApplicationControlled) {
+    throw InvalidProperty(
+        "only infrastructure-controlled membership is supported");
+  }
+  if (props.consistency_style == ConsistencyStyle::ApplicationControlled) {
+    throw InvalidProperty(
+        "only infrastructure-controlled consistency is supported");
+  }
+  if (props.fault_monitoring_timeout >= props.fault_monitoring_interval) {
+    throw InvalidProperty(
+        "FaultMonitoringTimeout must be below the monitoring interval");
+  }
+}
+
+void PropertyManager::set_default_properties(const Properties& props) {
+  validate(props);
+  defaults_ = props;
+}
+
+void PropertyManager::set_properties(const std::string& group,
+                                     const Properties& props) {
+  validate(props);
+  overrides_[group] = props;
+}
+
+const Properties& PropertyManager::get_properties(
+    const std::string& group) const {
+  auto it = overrides_.find(group);
+  return it == overrides_.end() ? defaults_ : it->second;
+}
+
+}  // namespace eternal::ft

@@ -1,0 +1,80 @@
+// FT-CORBA fault-tolerance properties.
+//
+// The standard (whose design this system's lessons fed into) attaches a
+// property set to each object group: replication style, membership style,
+// consistency style, initial/minimum numbers of replicas, and fault
+// monitoring parameters. The PropertyManager holds defaults and per-group
+// overrides, as in the standard's three-level scheme (default / type / group
+// — collapsed here to default / group).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "rep/engine.hpp"
+
+namespace eternal::ft {
+
+/// Who adds/removes members and who drives consistency. This
+/// infrastructure (like the system the paper describes) supports only the
+/// infrastructure-controlled styles; the enums exist for API fidelity and
+/// validation.
+enum class MembershipStyle : std::uint8_t {
+  InfrastructureControlled = 0,
+  ApplicationControlled = 1,
+};
+
+enum class ConsistencyStyle : std::uint8_t {
+  InfrastructureControlled = 0,
+  ApplicationControlled = 1,
+};
+
+enum class FaultMonitoringStyle : std::uint8_t {
+  Pull = 0,  // periodic is_alive pings (what FaultDetector implements)
+  Push = 1,
+};
+
+struct Properties {
+  rep::Style replication_style = rep::Style::Active;
+  MembershipStyle membership_style = MembershipStyle::InfrastructureControlled;
+  ConsistencyStyle consistency_style = ConsistencyStyle::InfrastructureControlled;
+  FaultMonitoringStyle fault_monitoring_style = FaultMonitoringStyle::Pull;
+  std::uint32_t initial_number_replicas = 2;
+  std::uint32_t minimum_number_replicas = 2;
+  sim::Time fault_monitoring_interval = 50 * sim::kMillisecond;
+  sim::Time fault_monitoring_timeout = 20 * sim::kMillisecond;
+  sim::Time checkpoint_interval = 0;  // 0 = update on every operation
+};
+
+/// Thrown when a property combination is invalid (mirrors the standard's
+/// InvalidProperty / UnsupportedProperty exceptions).
+class InvalidProperty : public std::runtime_error {
+ public:
+  explicit InvalidProperty(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class PropertyManager {
+ public:
+  /// Validate and set defaults applied to groups without overrides.
+  void set_default_properties(const Properties& props);
+  const Properties& get_default_properties() const { return defaults_; }
+
+  /// Validate and set per-group overrides.
+  void set_properties(const std::string& group, const Properties& props);
+  /// Effective properties: group override or defaults.
+  const Properties& get_properties(const std::string& group) const;
+  void remove_properties(const std::string& group) {
+    overrides_.erase(group);
+  }
+
+  static void validate(const Properties& props);
+
+ private:
+  Properties defaults_;
+  std::map<std::string, Properties> overrides_;
+};
+
+}  // namespace eternal::ft

@@ -1,0 +1,191 @@
+#include "giop/giop.hpp"
+
+namespace eternal::giop {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
+
+void encode_contexts(cdr::Encoder& enc,
+                     const std::vector<ServiceContext>& ctxs) {
+  enc.put_ulong(static_cast<std::uint32_t>(ctxs.size()));
+  for (const auto& c : ctxs) {
+    enc.put_ulong(c.context_id);
+    enc.put_octet_seq(c.context_data);
+  }
+}
+
+std::vector<ServiceContext> decode_contexts(cdr::Decoder& dec) {
+  const std::uint32_t n = dec.get_ulong();
+  if (n > 1024) throw cdr::MarshalError("implausible service context count");
+  std::vector<ServiceContext> ctxs;
+  ctxs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ServiceContext c;
+    c.context_id = dec.get_ulong();
+    c.context_data = dec.get_octet_seq();
+    ctxs.push_back(std::move(c));
+  }
+  return ctxs;
+}
+
+Bytes frame(MsgType type, const cdr::Encoder& content) {
+  cdr::Encoder enc;
+  enc.put_raw(std::span<const std::uint8_t>(kMagic, 4));
+  enc.put_octet(1);  // major
+  enc.put_octet(0);  // minor
+  enc.put_octet(cdr::kHostLittleEndian ? 1 : 0);
+  enc.put_octet(static_cast<std::uint8_t>(type));
+  enc.put_ulong(static_cast<std::uint32_t>(content.size()));
+  enc.put_raw(content.data());
+  return enc.take();
+}
+
+}  // namespace
+
+Bytes FtRequestContext::encode() const {
+  cdr::Encoder enc = cdr::Encoder::make_encapsulation();
+  enc.put_string(client_id);
+  enc.put_long(retention_id);
+  enc.put_ulonglong(expiration_time);
+  cdr::Encoder out;
+  // The context data *is* the encapsulation content.
+  out.put_raw(enc.data());
+  return out.take();
+}
+
+FtRequestContext FtRequestContext::decode(const Bytes& data) {
+  cdr::Decoder dec(data);
+  const bool little = dec.get_boolean();
+  dec.set_swap(little != cdr::kHostLittleEndian);
+  FtRequestContext ctx;
+  ctx.client_id = dec.get_string();
+  ctx.retention_id = dec.get_long();
+  ctx.expiration_time = dec.get_ulonglong();
+  return ctx;
+}
+
+Bytes FtGroupVersionContext::encode() const {
+  cdr::Encoder enc = cdr::Encoder::make_encapsulation();
+  enc.put_ulong(object_group_ref_version);
+  cdr::Encoder out;
+  out.put_raw(enc.data());
+  return out.take();
+}
+
+FtGroupVersionContext FtGroupVersionContext::decode(const Bytes& data) {
+  cdr::Decoder dec(data);
+  const bool little = dec.get_boolean();
+  dec.set_swap(little != cdr::kHostLittleEndian);
+  FtGroupVersionContext ctx;
+  ctx.object_group_ref_version = dec.get_ulong();
+  return ctx;
+}
+
+void SystemExceptionBody::encode(cdr::Encoder& enc) const {
+  enc.put_string(exception_id);
+  enc.put_ulong(minor_code);
+  enc.put_ulong(completion_status);
+}
+
+SystemExceptionBody SystemExceptionBody::decode(cdr::Decoder& dec) {
+  SystemExceptionBody body;
+  body.exception_id = dec.get_string();
+  body.minor_code = dec.get_ulong();
+  body.completion_status = dec.get_ulong();
+  return body;
+}
+
+Bytes encode_request(const RequestHeader& hdr, const Bytes& body) {
+  cdr::Encoder enc;
+  encode_contexts(enc, hdr.service_contexts);
+  enc.put_ulong(hdr.request_id);
+  enc.put_boolean(hdr.response_expected);
+  enc.put_octet_seq(hdr.object_key);
+  enc.put_string(hdr.operation);
+  enc.put_octet_seq({});  // requesting principal (GIOP 1.0, always empty)
+  enc.align(8);           // body starts 8-aligned, as GIOP 1.2 requires
+  enc.put_raw(body);
+  return frame(MsgType::Request, enc);
+}
+
+Bytes encode_reply(const ReplyHeader& hdr, const Bytes& body) {
+  cdr::Encoder enc;
+  encode_contexts(enc, hdr.service_contexts);
+  enc.put_ulong(hdr.request_id);
+  enc.put_ulong(static_cast<std::uint32_t>(hdr.reply_status));
+  enc.align(8);
+  enc.put_raw(body);
+  return frame(MsgType::Reply, enc);
+}
+
+Message decode(const Bytes& wire) {
+  cdr::Decoder dec(wire);
+  auto magic = dec.get_raw(4);
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kMagic[i]) throw cdr::MarshalError("bad GIOP magic");
+  }
+  Message msg;
+  msg.header.version_major = dec.get_octet();
+  msg.header.version_minor = dec.get_octet();
+  const std::uint8_t flags = dec.get_octet();
+  const bool little = (flags & 1) != 0;
+  const std::uint8_t type_raw = dec.get_octet();
+  if (type_raw > static_cast<std::uint8_t>(MsgType::MessageError)) {
+    throw cdr::MarshalError("bad GIOP message type");
+  }
+  msg.header.msg_type = static_cast<MsgType>(type_raw);
+  dec.set_swap(little != cdr::kHostLittleEndian);
+  msg.header.msg_size = dec.get_ulong();
+  if (msg.header.msg_size != dec.remaining()) {
+    throw cdr::MarshalError("GIOP size mismatch");
+  }
+  // The encoder aligned the message content relative to the byte after the
+  // 12-byte GIOP header, so decode it with its own alignment origin.
+  cdr::Decoder content(dec.get_raw(msg.header.msg_size), dec.swapping());
+  cdr::Decoder& cdec = content;
+
+  switch (msg.header.msg_type) {
+    case MsgType::Request: {
+      RequestHeader hdr;
+      hdr.service_contexts = decode_contexts(cdec);
+      hdr.request_id = cdec.get_ulong();
+      hdr.response_expected = cdec.get_boolean();
+      hdr.object_key = cdec.get_octet_seq();
+      hdr.operation = cdec.get_string();
+      (void)cdec.get_octet_seq();  // principal
+      cdec.align(8);
+      msg.request = std::move(hdr);
+      break;
+    }
+    case MsgType::Reply: {
+      ReplyHeader hdr;
+      hdr.service_contexts = decode_contexts(cdec);
+      hdr.request_id = cdec.get_ulong();
+      const std::uint32_t status = cdec.get_ulong();
+      if (status > static_cast<std::uint32_t>(ReplyStatus::LocationForward)) {
+        throw cdr::MarshalError("bad reply status");
+      }
+      hdr.reply_status = static_cast<ReplyStatus>(status);
+      cdec.align(8);
+      msg.reply = std::move(hdr);
+      break;
+    }
+    default:
+      break;  // control messages carry no typed header
+  }
+  const std::size_t body_len = cdec.remaining();
+  auto body = cdec.get_raw(body_len);
+  msg.body.assign(body.begin(), body.end());
+  return msg;
+}
+
+const ServiceContext* find_context(const std::vector<ServiceContext>& ctxs,
+                                   ServiceId id) {
+  for (const auto& c : ctxs) {
+    if (c.context_id == static_cast<std::uint32_t>(id)) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace eternal::giop

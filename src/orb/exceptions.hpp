@@ -1,0 +1,63 @@
+// CORBA system exceptions (the subset the infrastructure raises).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace eternal::orb {
+
+/// Completion status of the operation when the exception was raised.
+enum class Completion : std::uint32_t { Yes = 0, No = 1, Maybe = 2 };
+
+/// Mirrors CORBA::SystemException: identified by a repository id, carrying a
+/// minor code and a completion status. The infrastructure marshals these
+/// into GIOP SYSTEM_EXCEPTION replies and re-raises them at the client.
+class SystemException : public std::runtime_error {
+ public:
+  SystemException(std::string exception_id, std::uint32_t minor,
+                  Completion completed)
+      : std::runtime_error(exception_id + " (minor=" + std::to_string(minor) +
+                           ")"),
+        exception_id_(std::move(exception_id)),
+        minor_(minor),
+        completed_(completed) {}
+
+  const std::string& exception_id() const noexcept { return exception_id_; }
+  std::uint32_t minor() const noexcept { return minor_; }
+  Completion completed() const noexcept { return completed_; }
+
+ private:
+  std::string exception_id_;
+  std::uint32_t minor_;
+  Completion completed_;
+};
+
+inline SystemException bad_operation(const std::string& op) {
+  (void)op;
+  return SystemException("IDL:omg.org/CORBA/BAD_OPERATION:1.0",
+                         /*minor=*/0, Completion::No);
+}
+
+inline SystemException object_not_exist(const std::string& key) {
+  (void)key;
+  return SystemException("IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0",
+                         /*minor=*/0, Completion::No);
+}
+
+inline SystemException comm_failure() {
+  return SystemException("IDL:omg.org/CORBA/COMM_FAILURE:1.0",
+                         /*minor=*/0, Completion::Maybe);
+}
+
+inline SystemException transient() {
+  return SystemException("IDL:omg.org/CORBA/TRANSIENT:1.0",
+                         /*minor=*/0, Completion::No);
+}
+
+inline SystemException timeout() {
+  return SystemException("IDL:omg.org/CORBA/TIMEOUT:1.0",
+                         /*minor=*/0, Completion::Maybe);
+}
+
+}  // namespace eternal::orb

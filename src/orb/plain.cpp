@@ -1,0 +1,70 @@
+#include "orb/plain.hpp"
+
+namespace eternal::orb {
+
+PlainOrb::PlainOrb(sim::Simulation& sim, sim::Network& net, sim::NodeId id)
+    : sim_(sim), net_(net), id_(id) {}
+
+void PlainOrb::attach() {
+  net_.set_handler(id_, [this](sim::NodeId from, const sim::Bytes& data) {
+    on_receive(from, data);
+  });
+}
+
+Future<cdr::Bytes> PlainOrb::invoke(sim::NodeId server, const std::string& key,
+                                    const std::string& op, cdr::Bytes args) {
+  giop::RequestHeader hdr;
+  hdr.request_id = next_request_id_++;
+  hdr.response_expected = true;
+  hdr.object_key = cdr::Bytes(key.begin(), key.end());
+  hdr.operation = op;
+  Future<cdr::Bytes> fut;
+  pending_.emplace(hdr.request_id, fut);
+  net_.unicast(id_, server, giop::encode_request(hdr, args));
+  return fut;
+}
+
+cdr::Bytes PlainOrb::invoke_blocking(sim::NodeId server, const std::string& key,
+                                     const std::string& op, cdr::Bytes args,
+                                     sim::Time timeout) {
+  auto fut = invoke(server, key, op, std::move(args));
+  const sim::Time deadline = sim_.now() + timeout;
+  while (!fut.ready() && sim_.now() < deadline) {
+    if (!sim_.step()) break;
+  }
+  if (!fut.ready()) throw orb::timeout();
+  cdr::Bytes out;
+  std::exception_ptr failure;
+  fut.then([&](Future<cdr::Bytes>::State& st) {
+    if (st.error) {
+      failure = st.error;
+    } else {
+      out = std::move(*st.value);
+    }
+  });
+  if (failure) std::rethrow_exception(failure);
+  return out;
+}
+
+void PlainOrb::on_receive(sim::NodeId from, const sim::Bytes& data) {
+  giop::Message msg = giop::decode(data);
+  if (msg.header.msg_type == giop::MsgType::Request) {
+    PlainContext ctx(sim_.now(), sim_.rng().next());
+    cdr::Bytes reply = adapter_.handle_request_sync(data, ctx);
+    net_.unicast(id_, from, std::move(reply));
+    return;
+  }
+  if (msg.header.msg_type == giop::MsgType::Reply) {
+    auto it = pending_.find(msg.reply->request_id);
+    if (it == pending_.end()) return;  // late/duplicate reply
+    Future<cdr::Bytes> fut = it->second;
+    pending_.erase(it);
+    try {
+      fut.resolve(parse_reply(msg));
+    } catch (const SystemException&) {
+      fut.reject(std::current_exception());
+    }
+  }
+}
+
+}  // namespace eternal::orb

@@ -1,0 +1,173 @@
+// Coroutine plumbing for nested operations.
+//
+// The paper's hardest consistency problems come from *nested* operations: a
+// replicated object that, mid-operation, invokes another object group and
+// waits for the reply. In the original system the ORB blocked a thread; here
+// — in keeping with the paper's lesson that multithreading must be sanitized
+// for replica determinism — an operation is a coroutine that suspends at
+// `co_await ctx.invoke(...)` and is resumed by the replication engine when
+// the (totally ordered) reply is delivered. Suspension and resumption points
+// are therefore identical at every replica.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace eternal::orb {
+
+/// Eagerly-started coroutine for servant operations. Runs until its first
+/// suspension point when invoked; the engine attaches a completion callback
+/// fired exactly once (possibly immediately if the body never suspends).
+class Task {
+ public:
+  struct promise_type {
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        auto& p = h.promise();
+        p.done = true;
+        if (p.on_complete) p.on_complete(p.exception);
+        // The frame is destroyed by Task's destructor (which owns it);
+        // suspending here keeps the promise alive for that.
+      }
+      void await_resume() noexcept {}
+    };
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+
+    bool done = false;
+    std::exception_ptr exception;
+    std::function<void(std::exception_ptr)> on_complete;
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.promise().done; }
+
+  /// Attach the completion callback. If the coroutine already finished
+  /// (fully synchronous body), the callback fires immediately.
+  void on_complete(std::function<void(std::exception_ptr)> fn) {
+    auto& p = handle_.promise();
+    if (p.done) {
+      fn(p.exception);
+    } else {
+      p.on_complete = std::move(fn);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Single-shot future the engine resolves when a nested reply arrives.
+/// `co_await`-able from a Task; also supports a plain callback for
+/// non-coroutine consumers (client stubs).
+template <typename T>
+class Future {
+ public:
+  struct State {
+    std::optional<T> value;
+    std::exception_ptr error;
+    std::coroutine_handle<> waiter;
+    std::function<void(State&)> callback;
+
+    bool ready() const noexcept {
+      return value.has_value() || error != nullptr;
+    }
+    void fire() {
+      if (waiter) {
+        auto w = std::exchange(waiter, nullptr);
+        w.resume();
+      } else if (callback) {
+        auto cb = std::exchange(callback, nullptr);
+        cb(*this);
+      }
+    }
+  };
+
+  Future() : state_(std::make_shared<State>()) {}
+
+  std::shared_ptr<State> state() const { return state_; }
+
+  void resolve(T value) {
+    if (state_->ready()) return;
+    state_->value = std::move(value);
+    state_->fire();
+  }
+  void reject(std::exception_ptr e) {
+    if (state_->ready()) return;
+    state_->error = e;
+    state_->fire();
+  }
+  bool ready() const noexcept { return state_->ready(); }
+
+  /// Plain-callback consumption (used by non-coroutine client stubs).
+  void then(std::function<void(State&)> cb) {
+    if (state_->ready()) {
+      cb(*state_);
+    } else {
+      state_->callback = std::move(cb);
+    }
+  }
+
+  // --- awaitable interface ---
+  // The awaiter deregisters itself if the awaiting coroutine frame is
+  // destroyed while suspended (e.g. an execution discarded during resync),
+  // so a late resolution never resumes a dead frame.
+  struct Awaiter {
+    std::shared_ptr<State> state;
+    bool armed = false;
+
+    bool await_ready() const noexcept { return state->ready(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      state->waiter = h;
+      armed = true;
+    }
+    T await_resume() {
+      armed = false;
+      if (state->error) std::rethrow_exception(state->error);
+      return std::move(*state->value);
+    }
+    ~Awaiter() {
+      if (armed) state->waiter = nullptr;
+    }
+  };
+
+  Awaiter operator co_await() const { return Awaiter{state_}; }
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace eternal::orb

@@ -1,0 +1,114 @@
+#include "rep/engine.hpp"
+
+namespace eternal::rep {
+
+Client::Client(Engine& engine, std::string name)
+    : engine_(engine), reply_group_(std::move(name)) {}
+
+Client::~Client() {
+  // Retry timers capture `this`; silence them before it dangles.
+  for (auto& [op, out] : outstanding_) out.retry.cancel();
+}
+
+orb::Future<cdr::Bytes> Client::invoke(const std::string& group,
+                                       const std::string& op,
+                                       cdr::Bytes args) {
+  OperationId op_id;
+  // Top-level calls get a synthetic parent coordinate in epoch 0: unique
+  // because exactly one unreplicated client driver exists per node.
+  op_id.parent = GlobalSeq{0, static_cast<std::uint64_t>(engine_.id()) + 1};
+  op_id.op_seq = next_op_++;
+
+  giop::RequestHeader hdr;
+  hdr.request_id = static_cast<std::uint32_t>(op_id.op_seq);
+  hdr.response_expected = true;
+  hdr.object_key = cdr::Bytes(group.begin(), group.end());
+  hdr.operation = op;
+  giop::FtRequestContext ft;
+  ft.client_id = reply_group_;
+  ft.retention_id = static_cast<std::int32_t>(op_id.op_seq);
+  ft.expiration_time =
+      engine_.simulation().now() + 60 * sim::kSecond;
+  hdr.service_contexts.push_back(
+      {static_cast<std::uint32_t>(giop::ServiceId::FtRequest), ft.encode()});
+
+  Envelope env;
+  env.kind = Kind::Invocation;
+  env.op_id = op_id;
+  env.target_group = group;
+  env.reply_group = reply_group_;
+  env.source_group = "";
+  env.timestamp = engine_.simulation().now();
+  env.giop = giop::encode_request(hdr, args);
+
+  auto inner = engine_.expect_reply(reply_group_, op_id);
+  orb::Future<cdr::Bytes> outer;
+
+  Outstanding out;
+  out.env = env;
+  outstanding_.emplace(op_id, std::move(out));
+  retransmit_arm(op_id);
+
+  inner.then([this, op_id, outer](
+                 orb::Future<cdr::Bytes>::State& st) mutable {
+    auto it = outstanding_.find(op_id);
+    if (it != outstanding_.end()) {
+      it->second.retry.cancel();
+      outstanding_.erase(it);
+    }
+    if (st.error) {
+      outer.reject(st.error);
+    } else {
+      outer.resolve(std::move(*st.value));
+    }
+  });
+
+  engine_.send_invocation(std::move(env), /*rank=*/0);
+  return outer;
+}
+
+void Client::retransmit_arm(const OperationId& op) {
+  auto it = outstanding_.find(op);
+  if (it == outstanding_.end()) return;
+  it->second.retry =
+      engine_.simulation().after(retry_interval_, [this, op] {
+        auto oit = outstanding_.find(op);
+        if (oit == outstanding_.end()) return;
+        // Same operation identifier: the server either answers from its
+        // reply log or is executing the first copy — never twice.
+        engine_.send_invocation(oit->second.env, /*rank=*/0);
+        retransmit_arm(op);
+      });
+}
+
+cdr::Bytes Client::invoke_blocking(const std::string& group,
+                                   const std::string& op, cdr::Bytes args,
+                                   sim::Time timeout) {
+  auto fut = invoke(group, op, std::move(args));
+  sim::Simulation& sim = engine_.simulation();
+  const sim::Time deadline = sim.now() + timeout;
+  while (!fut.ready() && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+  if (!fut.ready()) {
+    // Give up: remove the bookkeeping so a late reply is ignored.
+    for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+      it->second.retry.cancel();
+    }
+    outstanding_.clear();
+    throw orb::timeout();
+  }
+  cdr::Bytes out;
+  std::exception_ptr failure;
+  fut.then([&](orb::Future<cdr::Bytes>::State& st) {
+    if (st.error) {
+      failure = st.error;
+    } else {
+      out = std::move(*st.value);
+    }
+  });
+  if (failure) std::rethrow_exception(failure);
+  return out;
+}
+
+}  // namespace eternal::rep

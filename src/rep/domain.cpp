@@ -1,0 +1,14 @@
+#include "rep/domain.hpp"
+
+namespace eternal::rep {
+
+Domain::Domain(totem::Fabric& fabric, EngineParams params) : fabric_(fabric) {
+  engines_.reserve(fabric.size());
+  for (NodeId i = 0; i < fabric.size(); ++i) {
+    engines_.push_back(
+        std::make_unique<Engine>(fabric.simulation(), fabric.group(i),
+                                 params));
+  }
+}
+
+}  // namespace eternal::rep

@@ -1,0 +1,1104 @@
+#include "rep/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eternal::rep {
+
+namespace {
+/// Offset added to op_seq when replaying a fulfillment operation, so the
+/// replayed operation's identifier is (a) distinct from the original and
+/// (b) identical across all replicas of the ex-secondary component — which
+/// lets ordinary duplicate suppression collapse their replays into one.
+constexpr std::uint64_t kFulfillSeqOffset = 1ULL << 62;
+
+std::vector<NodeId> intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+}  // namespace
+
+std::string to_string(Style s) {
+  switch (s) {
+    case Style::Active: return "ACTIVE";
+    case Style::WarmPassive: return "WARM_PASSIVE";
+    case Style::ColdPassive: return "COLD_PASSIVE";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Execution: one in-flight operation on a local replica.
+// ---------------------------------------------------------------------------
+
+struct Engine::Execution {
+  OperationId op_id;
+  Envelope invocation;   // the envelope that started this execution
+  GlobalSeq carrier;     // total-order position of that envelope
+  giop::Message request; // parsed GIOP request (owns the body bytes)
+  cdr::Encoder out;
+  std::unique_ptr<orb::InvokerContext> ctx;
+  orb::Task task;
+  std::uint64_t next_op_seq = 1;
+  util::Xoshiro256 rng;
+  bool read_only = false;
+  std::string op_name;
+
+  explicit Execution(const OperationId& id) : rng(id.hash()) {}
+};
+
+/// The servant's window on the world: nested invocations plus sanitized
+/// time and randomness (all deterministic across replicas).
+class ExecContext final : public orb::InvokerContext {
+ public:
+  ExecContext(Engine& engine, std::string group, Engine::Execution& exec,
+              bool primary_component)
+      : engine_(engine),
+        group_(std::move(group)),
+        exec_(exec),
+        primary_component_(primary_component) {}
+
+  orb::Future<cdr::Bytes> invoke(const std::string& target,
+                                 const std::string& op,
+                                 cdr::Bytes args) override;
+
+  std::uint64_t logical_time() const override {
+    return exec_.invocation.timestamp;
+  }
+  std::uint64_t deterministic_random() override { return exec_.rng.next(); }
+  bool is_fulfillment() const override { return exec_.invocation.fulfillment; }
+  bool in_primary_component() const override { return primary_component_; }
+
+ private:
+  Engine& engine_;
+  std::string group_;
+  Engine::Execution& exec_;
+  bool primary_component_;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(sim::Simulation& sim, totem::GroupLayer& groups,
+               EngineParams params)
+    : sim_(sim), groups_(groups), params_(params) {
+  groups_.subscribe_all(
+      [this](const totem::GroupMessage& m) { on_message(m); });
+  groups_.set_group_view_handler(
+      [this](const totem::GroupView& v) { on_group_view(v); });
+}
+
+Engine::~Engine() = default;
+
+Client& Engine::client() {
+  if (!client_) {
+    client_ = std::make_unique<Client>(
+        *this, "client." + std::to_string(groups_.id()));
+  }
+  return *client_;
+}
+
+void Engine::host(const GroupConfig& cfg, std::shared_ptr<Replica> replica,
+                  bool initial) {
+  auto [it, inserted] = local_.emplace(cfg.name, LocalGroup{});
+  LocalGroup& g = it->second;
+  g.cfg = cfg;
+  g.replica = std::move(replica);
+  groups_.join(cfg.name);
+  if (initial) {
+    g.sync = SyncState::Synced;
+    g.had_state = true;
+    g.synced_set.insert(id());
+    broadcast_synced_mark(g);
+  } else {
+    begin_resync(g);
+  }
+}
+
+void Engine::unhost(const std::string& group) {
+  auto it = local_.find(group);
+  if (it == local_.end()) return;
+  groups_.leave(group);
+  local_.erase(it);
+}
+
+void Engine::reset_after_crash() {
+  for (auto& [name, g] : local_) {
+    g.join_retry_timer.cancel();
+    g.exec_hold_timer.cancel();
+    groups_.leave(name);
+  }
+  local_.clear();
+  expected_replies_.clear();
+  for (auto& [op, pending] : pending_invocation_sends_) {
+    pending.timer.cancel();
+  }
+  pending_invocation_sends_.clear();
+  for (auto& [op, pending] : pending_response_sends_) {
+    pending.timer.cancel();
+  }
+  pending_response_sends_.clear();
+  client_.reset();
+}
+
+std::shared_ptr<Replica> Engine::local_replica(const std::string& group) const {
+  auto it = local_.find(group);
+  return it == local_.end() ? nullptr : it->second.replica;
+}
+
+bool Engine::is_synced(const std::string& group) const {
+  auto it = local_.find(group);
+  return it != local_.end() && it->second.sync == SyncState::Synced;
+}
+
+bool Engine::is_primary(const std::string& group) const {
+  auto it = local_.find(group);
+  return it != local_.end() && i_am_primary(it->second);
+}
+
+bool Engine::in_primary_component(const std::string& group) const {
+  auto it = local_.find(group);
+  return it != local_.end() && it->second.primary_component;
+}
+
+std::vector<NodeId> Engine::synced_members(const std::string& group) const {
+  auto it = local_.find(group);
+  if (it == local_.end()) return {};
+  return {it->second.synced_set.begin(), it->second.synced_set.end()};
+}
+
+std::vector<NodeId> Engine::group_members(const std::string& group) const {
+  auto it = local_.find(group);
+  if (it == local_.end()) return {};
+  return it->second.members;
+}
+
+std::uint64_t Engine::state_version(const std::string& group) const {
+  auto it = local_.find(group);
+  return it == local_.end() ? 0 : it->second.state_version;
+}
+
+std::size_t Engine::fulfillment_backlog(const std::string& group) const {
+  auto it = local_.find(group);
+  return it == local_.end() ? 0 : it->second.fulfillment_queue.size();
+}
+
+CheckpointSizes Engine::checkpoint_sizes(const std::string& group) const {
+  CheckpointSizes sizes;
+  auto it = local_.find(group);
+  if (it != local_.end()) encode_checkpoint(it->second, &sizes);
+  return sizes;
+}
+
+bool Engine::i_am_primary(const LocalGroup& g) const {
+  if (g.sync != SyncState::Synced) return false;
+  // Primary = lowest-id *synced* member; an unsynced joiner must not lead.
+  for (NodeId m : g.members) {
+    if (g.synced_set.count(m)) return m == id();
+  }
+  return !g.members.empty() && g.members.front() == id();
+}
+
+std::uint32_t Engine::my_rank(const LocalGroup& g) const {
+  std::uint32_t rank = 0;
+  for (NodeId m : g.members) {
+    if (m == id()) return rank;
+    ++rank;
+  }
+  return rank;
+}
+
+// ---------------------------------------------------------------------------
+// Message routing
+// ---------------------------------------------------------------------------
+
+void Engine::on_message(const totem::GroupMessage& m) {
+  Envelope env;
+  try {
+    env = decode_envelope(m.payload);
+  } catch (const cdr::MarshalError&) {
+    return;  // not a replication-layer message
+  }
+  route(env, GlobalSeq{m.ring.epoch, m.seq}, m.sender);
+}
+
+void Engine::route(const Envelope& env, const GlobalSeq& carrier,
+                   NodeId sender) {
+  // Sender-side duplicate suppression: a sibling's copy of an invocation or
+  // response we have queued (staggered) cancels our send.
+  if (env.kind == Kind::Invocation && sender != id()) {
+    auto it = pending_invocation_sends_.find(env.op_id);
+    if (it != pending_invocation_sends_.end()) {
+      it->second.timer.cancel();
+      pending_invocation_sends_.erase(it);
+      ++stats_.sends_suppressed;
+    }
+  }
+  if (env.kind == Kind::Response && sender != id()) {
+    auto it = pending_response_sends_.find(env.op_id);
+    if (it != pending_response_sends_.end()) {
+      it->second.timer.cancel();
+      pending_response_sends_.erase(it);
+      ++stats_.responses_suppressed;
+    }
+  }
+
+  if (env.kind == Kind::Response) {
+    handle_response(env, sender);
+    return;
+  }
+
+  auto it = local_.find(env.target_group);
+  if (it == local_.end()) return;  // no local replica of the target
+  LocalGroup& g = it->second;
+
+  switch (env.kind) {
+    case Kind::Invocation:
+      if (g.sync == SyncState::AwaitingSnapshot) {
+        g.buffered.emplace_back(env, carrier);
+        return;
+      }
+      if (g.sync == SyncState::Unsynced) return;  // pre-marker: in snapshot
+      handle_invocation(g, env, carrier);
+      return;
+    case Kind::StateUpdate:
+      if (g.sync == SyncState::AwaitingSnapshot) {
+        g.buffered.emplace_back(env, carrier);
+        return;
+      }
+      if (g.sync == SyncState::Unsynced) return;
+      handle_state_update(g, env);
+      return;
+    case Kind::JoinRequest:
+      handle_join_request(g, env);
+      return;
+    case Kind::Snapshot:
+      handle_snapshot(g, env);
+      return;
+    case Kind::SyncedMark:
+      handle_synced_mark(g, env);
+      return;
+    case Kind::Response:
+      return;  // handled above
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invocations and executions
+// ---------------------------------------------------------------------------
+
+void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
+                               const GlobalSeq& carrier) {
+  // Receiver-side duplicate detection, keyed on the operation identifier.
+  auto logged = g.reply_log.find(env.op_id);
+  if (logged != g.reply_log.end()) {
+    // A duplicate of a completed operation (client retry or reinvocation by
+    // a new primary): do not re-execute — retransmit the logged reply.
+    if (!g.replaying_buffer) resend_logged_reply(g, env);
+    ++stats_.duplicate_replies_resent;
+    return;
+  }
+  if (g.known_ops.count(env.op_id)) {
+    // Already logged/executing; the reply will go out when it completes.
+    ++stats_.duplicate_invocations_dropped;
+    return;
+  }
+  g.known_ops.insert(env.op_id);
+
+  if (g.cfg.style == Style::Active) {
+    start_execution(g, env, carrier);
+    return;
+  }
+
+  // Passive: everybody logs (the log is what failover re-executes); only
+  // the primary executes, serially in log order. Read-only operations are
+  // not logged at backups — they produce no state update to retire them.
+  giop::Message req;
+  try {
+    req = giop::decode(env.giop);
+  } catch (const cdr::MarshalError&) {
+    return;
+  }
+  if (!req.request) return;
+  const bool read_only =
+      g.replica && g.replica->is_read_only(req.request->operation);
+  if (i_am_primary(g)) {
+    if (!read_only) g.invocation_log.push_back({env, carrier, false});
+    g.exec_queue.emplace_back(env, carrier);
+    pump_exec_queue(g);
+  } else if (!read_only) {
+    g.invocation_log.push_back({env, carrier, false});
+  }
+}
+
+void Engine::pump_exec_queue(LocalGroup& g) {
+  while (!g.executing && !g.exec_hold && !g.exec_queue.empty()) {
+    auto [env, carrier] = g.exec_queue.front();
+    g.exec_queue.pop_front();
+    if (g.reply_log.count(env.op_id)) continue;  // completed meanwhile
+    g.executing = true;
+    start_execution(g, env, carrier);
+  }
+}
+
+void Engine::start_execution(LocalGroup& g, const Envelope& env,
+                             const GlobalSeq& carrier) {
+  auto exec = std::make_unique<Execution>(env.op_id);
+  Execution& ex = *exec;
+  ex.op_id = env.op_id;
+  ex.invocation = env;
+  ex.carrier = carrier;
+  try {
+    ex.request = giop::decode(env.giop);
+  } catch (const cdr::MarshalError&) {
+    if (g.cfg.style != Style::Active) g.executing = false;
+    return;
+  }
+  if (!ex.request.request) {
+    if (g.cfg.style != Style::Active) g.executing = false;
+    return;
+  }
+  ex.op_name = ex.request.request->operation;
+  ex.read_only = g.replica->is_read_only(ex.op_name);
+  ex.ctx = std::make_unique<ExecContext>(*this, g.cfg.name, ex,
+                                         g.primary_component);
+
+  g.running.emplace(env.op_id, std::move(exec));
+
+  const std::string group_name = g.cfg.name;
+  const OperationId op_id = env.op_id;
+  std::exception_ptr dispatch_error;
+  try {
+    cdr::Decoder args(ex.request.body);
+    ex.task = g.replica->dispatch(ex.op_name, *ex.ctx, args, ex.out);
+  } catch (...) {
+    dispatch_error = std::current_exception();
+  }
+  if (dispatch_error) {
+    finish_execution(g, ex, dispatch_error);
+    return;
+  }
+  ex.task.on_complete([this, group_name, op_id](std::exception_ptr error) {
+    auto git = local_.find(group_name);
+    if (git == local_.end()) return;
+    auto eit = git->second.running.find(op_id);
+    if (eit == git->second.running.end()) return;
+    finish_execution(git->second, *eit->second, error);
+  });
+}
+
+void Engine::finish_execution(LocalGroup& g, Execution& ex,
+                              std::exception_ptr error) {
+  const std::uint32_t request_id = ex.request.request->request_id;
+  Bytes reply;
+  bool failed = false;
+  if (error) {
+    failed = true;
+    try {
+      std::rethrow_exception(error);
+    } catch (const orb::SystemException& e) {
+      reply = orb::make_exception_reply(request_id, e);
+    } catch (const cdr::MarshalError&) {
+      reply = orb::make_exception_reply(
+          request_id, orb::SystemException("IDL:omg.org/CORBA/MARSHAL:1.0", 0,
+                                           orb::Completion::Maybe));
+    } catch (...) {
+      reply = orb::make_exception_reply(
+          request_id, orb::SystemException("IDL:omg.org/CORBA/UNKNOWN:1.0", 0,
+                                           orb::Completion::Maybe));
+    }
+  } else {
+    reply = orb::make_success_reply(request_id, ex.out.data());
+  }
+
+  ++stats_.invocations_executed;
+  log_reply(g, ex.op_id, reply);
+
+  const bool mutating = !failed && !ex.read_only;
+  if (mutating) ++g.state_version;
+
+  // Passive primary: ship the postimage to the backups *before* the
+  // response, so a backup promoted later is never behind a reply the
+  // client has already seen.
+  if (mutating && g.cfg.style != Style::Active) {
+    Envelope up;
+    up.kind = Kind::StateUpdate;
+    up.op_id = ex.op_id;
+    up.target_group = g.cfg.name;
+    up.source_group = g.cfg.name;
+    up.state_version = g.state_version;
+    up.operation = ex.op_name;
+    cdr::Encoder update;
+    g.replica->get_update(ex.op_name, update);
+    up.update = update.take();
+    send_envelope(g.cfg.name, up);
+  }
+
+  // Record the operation for fulfillment replay if we are operating in a
+  // secondary component (and this is not itself a replay).
+  if (mutating && !g.primary_component && !ex.invocation.fulfillment) {
+    g.fulfillment_queue.push_back(ex.invocation);
+    ++stats_.fulfillment_recorded;
+  }
+
+  // Respond. Active replicas all respond (staggered; duplicates are
+  // suppressed); the passive primary responds alone.
+  if (ex.request.request->response_expected &&
+      !ex.invocation.reply_group.empty()) {
+    Envelope resp;
+    resp.kind = Kind::Response;
+    resp.op_id = ex.op_id;
+    resp.target_group = ex.invocation.reply_group;
+    resp.source_group = g.cfg.name;
+    resp.giop = reply;
+    const std::uint32_t rank =
+        g.cfg.style == Style::Active ? my_rank(g) : 0;
+    queue_send(std::move(resp), rank, /*is_response=*/true);
+  }
+
+  // Retire the log entry (passive primary path).
+  for (auto it = g.invocation_log.begin(); it != g.invocation_log.end();
+       ++it) {
+    if (it->env.op_id == ex.op_id) {
+      g.invocation_log.erase(it);
+      break;
+    }
+  }
+
+  g.running.erase(ex.op_id);  // destroys ex
+  if (g.cfg.style != Style::Active) {
+    g.executing = false;
+    pump_exec_queue(g);
+  }
+}
+
+orb::Future<cdr::Bytes> ExecContext::invoke(const std::string& target,
+                                            const std::string& op,
+                                            cdr::Bytes args) {
+  OperationId nested;
+  nested.parent = exec_.carrier;
+  nested.op_seq = exec_.next_op_seq++;
+
+  giop::RequestHeader hdr;
+  hdr.request_id = static_cast<std::uint32_t>(nested.hash());
+  hdr.response_expected = true;
+  hdr.object_key = cdr::Bytes(target.begin(), target.end());
+  hdr.operation = op;
+  giop::FtRequestContext ft;
+  ft.client_id = group_;
+  ft.retention_id = static_cast<std::int32_t>(nested.op_seq);
+  ft.expiration_time = exec_.invocation.timestamp;
+  hdr.service_contexts.push_back(
+      {static_cast<std::uint32_t>(giop::ServiceId::FtRequest), ft.encode()});
+
+  Envelope env;
+  env.kind = Kind::Invocation;
+  env.op_id = nested;
+  env.target_group = target;
+  env.reply_group = group_;
+  env.source_group = group_;
+  env.fulfillment = exec_.invocation.fulfillment;
+  env.timestamp = exec_.invocation.timestamp;
+  env.giop = giop::encode_request(hdr, args);
+
+  auto future = engine_.expect_reply(group_, nested);
+  std::uint32_t rank = 0;
+  if (auto it = engine_.local_.find(group_); it != engine_.local_.end()) {
+    rank = engine_.my_rank(it->second);
+  }
+  engine_.send_invocation(std::move(env), rank);
+  return future;
+}
+
+// ---------------------------------------------------------------------------
+// Responses, suppression, sending
+// ---------------------------------------------------------------------------
+
+orb::Future<cdr::Bytes> Engine::expect_reply(const std::string& reply_group,
+                                             const OperationId& op) {
+  auto& slot = expected_replies_[reply_group][op];
+  return slot;
+}
+
+void Engine::cancel_reply(const std::string& reply_group,
+                          const OperationId& op) {
+  auto it = expected_replies_.find(reply_group);
+  if (it == expected_replies_.end()) return;
+  it->second.erase(op);
+  if (it->second.empty()) expected_replies_.erase(it);
+}
+
+void Engine::handle_response(const Envelope& env, NodeId sender) {
+  ETERNAL_DEBUG("engine", "node ", id(), " response op=", env.op_id.str(),
+                " target=", env.target_group, " from=", sender);
+  auto it = expected_replies_.find(env.target_group);
+  if (it == expected_replies_.end()) return;
+  auto oit = it->second.find(env.op_id);
+  if (oit == it->second.end()) return;  // duplicate response: ignore
+  orb::Future<cdr::Bytes> future = oit->second;
+  it->second.erase(oit);
+  if (it->second.empty()) expected_replies_.erase(it);
+  try {
+    future.resolve(orb::parse_reply(giop::decode(env.giop)));
+  } catch (...) {
+    future.reject(std::current_exception());
+  }
+}
+
+void Engine::send_invocation(Envelope env, std::uint32_t rank) {
+  queue_send(std::move(env), rank, /*is_response=*/false);
+}
+
+void Engine::queue_send(Envelope env, std::uint32_t rank, bool is_response) {
+  const std::string totem_group = env.target_group;
+  if (!params_.sender_side_suppression || rank == 0 ||
+      params_.send_stagger == 0) {
+    send_envelope(totem_group, env);
+    return;
+  }
+  auto& table = is_response ? pending_response_sends_ : pending_invocation_sends_;
+  const OperationId op = env.op_id;
+  if (table.count(op)) return;  // already queued
+  PendingSend pending;
+  pending.is_response = is_response;
+  pending.env = std::move(env);
+  pending.timer =
+      sim_.after(static_cast<sim::Time>(rank) * params_.send_stagger,
+                 [this, op, is_response] {
+                   auto& tbl = is_response ? pending_response_sends_
+                                           : pending_invocation_sends_;
+                   auto it = tbl.find(op);
+                   if (it == tbl.end()) return;
+                   Envelope env = std::move(it->second.env);
+                   tbl.erase(it);
+                   send_envelope(env.target_group, env);
+                 });
+  table.emplace(op, std::move(pending));
+}
+
+void Engine::resend_logged_reply(LocalGroup& g, const Envelope& inv) {
+  auto it = g.reply_log.find(inv.op_id);
+  if (it == g.reply_log.end() || inv.reply_group.empty()) return;
+  Envelope resp;
+  resp.kind = Kind::Response;
+  resp.op_id = inv.op_id;
+  resp.target_group = inv.reply_group;
+  resp.source_group = g.cfg.name;
+  resp.giop = it->second;
+  const std::uint32_t rank =
+      g.cfg.style == Style::Active ? my_rank(g) : 0;
+  queue_send(std::move(resp), rank, /*is_response=*/true);
+}
+
+void Engine::log_reply(LocalGroup& g, const OperationId& op, Bytes reply) {
+  if (g.reply_log.emplace(op, std::move(reply)).second) {
+    g.reply_log_order.push_back(op);
+    while (g.reply_log_order.size() > params_.reply_log_capacity) {
+      const OperationId victim = g.reply_log_order.front();
+      g.reply_log_order.pop_front();
+      g.reply_log.erase(victim);
+      g.known_ops.erase(victim);
+    }
+  }
+}
+
+void Engine::send_envelope(const std::string& totem_group,
+                           const Envelope& env) {
+  ETERNAL_DEBUG("engine", "node ", id(), " send kind=",
+                static_cast<int>(env.kind), " op=", env.op_id.str(),
+                " totem_group=", totem_group, " target=", env.target_group);
+  groups_.send(totem_group, encode(env));
+}
+
+// ---------------------------------------------------------------------------
+// Passive state updates
+// ---------------------------------------------------------------------------
+
+void Engine::handle_state_update(LocalGroup& g, const Envelope& env) {
+  // Retire the corresponding logged invocation everywhere.
+  for (auto it = g.invocation_log.begin(); it != g.invocation_log.end();
+       ++it) {
+    if (it->env.op_id == env.op_id) {
+      g.invocation_log.erase(it);
+      break;
+    }
+  }
+  g.known_ops.insert(env.op_id);
+  if (g.reply_log.count(env.op_id)) return;  // I executed this one myself
+
+  if (env.state_version <= g.state_version &&
+      g.cfg.style == Style::WarmPassive) {
+    return;  // stale update (already reflected via snapshot)
+  }
+  if (g.cfg.style == Style::WarmPassive) {
+    cdr::Decoder dec(env.update);
+    g.replica->apply_update(env.operation, dec);
+    g.state_version = env.state_version;
+    ++stats_.state_updates_applied;
+  } else if (g.cfg.style == Style::ColdPassive) {
+    if (g.pending_updates.emplace(env.op_id, env.update).second) {
+      g.pending_update_order.push_back(env.op_id);
+      g.pending_update_meta.emplace(
+          env.op_id, std::make_pair(env.operation, env.state_version));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group views, failover, partitions
+// ---------------------------------------------------------------------------
+
+void Engine::on_group_view(const totem::GroupView& v) {
+  if (view_observer_) view_observer_(v);
+  auto it = local_.find(v.group);
+  if (it == local_.end()) return;
+  LocalGroup& g = it->second;
+
+  const std::vector<NodeId> old_members = g.members;
+  const bool was_primary = i_am_primary(g);
+  g.members = v.members;
+
+  // Prune synced/history knowledge to the new membership.
+  auto prune = [&v](std::set<NodeId>& nodes) {
+    for (auto it = nodes.begin(); it != nodes.end();) {
+      if (std::find(v.members.begin(), v.members.end(), *it) ==
+          v.members.end()) {
+        it = nodes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  prune(g.synced_set);
+  prune(g.history_set);
+  for (auto sit = g.member_status.begin(); sit != g.member_status.end();) {
+    if (std::find(v.members.begin(), v.members.end(), sit->first) ==
+        v.members.end()) {
+      sit = g.member_status.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+
+  std::vector<NodeId> gained;
+  for (NodeId m : v.members) {
+    if (std::find(old_members.begin(), old_members.end(), m) ==
+        old_members.end()) {
+      gained.push_back(m);
+    }
+  }
+
+  if (!old_members.empty() && g.members != old_members) {
+    if (!gained.empty()) {
+      // The group grew: a join, or a partition remerge. Pre-merge synced
+      // knowledge is one-sided (the other component never saw our marks),
+      // so discard it and rebuild from post-merge ordered messages: synced
+      // replicas re-announce their mark, resyncing replicas send joins.
+      g.synced_set.clear();
+      g.history_set.clear();
+      g.member_status.clear();
+      // Components reconcile: replicas that were operating in a secondary
+      // component discard their state (after queueing fulfillment
+      // operations) and re-acquire it from the primary component.
+      if (!g.primary_component && g.sync == SyncState::Synced) {
+        begin_resync(g);
+      } else if (g.sync == SyncState::Synced) {
+        g.synced_set.insert(id());
+        broadcast_synced_mark(g);
+      }
+      g.primary_component = true;
+    } else {
+      // The group shrank: crash or partition. Majority-of-previous rule
+      // with lowest-member tiebreak determines the (at most one) primary
+      // component.
+      const auto survivors = intersect(g.members, old_members);
+      const std::size_t half = old_members.size();
+      bool primary_now;
+      if (2 * survivors.size() > half) {
+        primary_now = true;
+      } else if (2 * survivors.size() == half) {
+        primary_now =
+            std::find(survivors.begin(), survivors.end(),
+                      old_members.front()) != survivors.end();
+      } else {
+        primary_now = false;
+      }
+      g.primary_component = g.primary_component && primary_now;
+    }
+  }
+
+  maybe_self_promote(g);
+  check_promotion(g, was_primary);
+}
+
+void Engine::check_promotion(LocalGroup& g, bool was_primary) {
+  // Passive failover: if this replica just became the primary, apply any
+  // unapplied (cold) updates and re-invoke the logged-but-unfinished
+  // operations under their original identifiers.
+  if (was_primary || !i_am_primary(g) || g.cfg.style == Style::Active) {
+    return;
+  }
+  ++stats_.failovers;
+  if (g.cfg.style == Style::ColdPassive) {
+    std::size_t backlog_bytes = 0;
+    for (const OperationId& op : g.pending_update_order) {
+      auto uit = g.pending_updates.find(op);
+      if (uit == g.pending_updates.end()) continue;
+      auto mit = g.pending_update_meta.find(op);
+      cdr::Decoder dec(uit->second);
+      g.replica->apply_update(mit->second.first, dec);
+      g.state_version = std::max(g.state_version, mit->second.second);
+      backlog_bytes += uit->second.size();
+      ++stats_.state_updates_applied;
+    }
+    g.pending_updates.clear();
+    g.pending_update_order.clear();
+    g.pending_update_meta.clear();
+    if (params_.update_apply_us_per_kib > 0 && backlog_bytes > 0) {
+      // Charge the simulated cost of installing the backlog before the new
+      // primary serves (this is what cold-passive recovery pays for).
+      const sim::Time cost =
+          params_.update_apply_us_per_kib * (backlog_bytes + 1023) / 1024;
+      g.exec_hold = true;
+      const std::string name = g.cfg.name;
+      g.exec_hold_timer = sim_.after(cost, [this, name] {
+        auto it = local_.find(name);
+        if (it == local_.end()) return;
+        it->second.exec_hold = false;
+        pump_exec_queue(it->second);
+      });
+    }
+  }
+  for (const auto& logged : g.invocation_log) {
+    if (g.reply_log.count(logged.env.op_id)) continue;
+    g.exec_queue.emplace_back(logged.env, logged.carrier);
+  }
+  pump_exec_queue(g);
+}
+
+void Engine::begin_resync(LocalGroup& g) {
+  g.sync = SyncState::Unsynced;
+  ++g.join_round;
+  g.buffered.clear();
+  g.snapshot_chunks.clear();
+  g.running.clear();
+  g.exec_queue.clear();
+  g.executing = false;
+  g.invocation_log.clear();
+  g.pending_updates.clear();
+  g.pending_update_order.clear();
+  g.pending_update_meta.clear();
+
+  Envelope join;
+  join.kind = Kind::JoinRequest;
+  join.target_group = g.cfg.name;
+  join.node = id();
+  join.round = g.join_round;
+  join.has_history = g.had_state;
+  send_envelope(g.cfg.name, join);
+
+  // Retry with a fresh round if no snapshot materialises (donor crashed or
+  // none synced yet).
+  const std::string name = g.cfg.name;
+  g.join_retry_timer.cancel();
+  g.join_retry_timer = sim_.after(params_.join_retry, [this, name] {
+    auto it = local_.find(name);
+    if (it == local_.end()) return;
+    if (it->second.sync == SyncState::Synced) return;
+    begin_resync(it->second);
+  });
+}
+
+void Engine::maybe_self_promote(LocalGroup& g) {
+  // Deadlock breaker for merges where *no* component held primary state
+  // (e.g. a three-way fragmentation): evaluated on ordered events, so all
+  // members agree. The lowest member *that held state before its resync*
+  // keeps its state and becomes the donor — a fresh, empty joiner must
+  // never outrank a state holder. The promoted replica's fulfillment queue
+  // is dropped (its state already reflects those operations); the others
+  // resync from it and replay theirs.
+  if (g.sync == SyncState::Synced) return;
+  if (g.members.empty()) return;
+  // Wait until every member has declared its post-merge status; the
+  // declarations are totally ordered, so all members decide identically.
+  for (NodeId m : g.members) {
+    if (!g.member_status.count(m)) return;
+  }
+  for (NodeId m : g.members) {
+    if (g.synced_set.count(m)) return;  // somebody authoritative exists
+  }
+  // Only a member that *held state before its resync* may promote; a fresh
+  // replica waits for a state holder (no bootstrap fallback — bootstrap
+  // replicas are marked initial at creation and never pass through here).
+  NodeId leader = 0;
+  bool any_history = false;
+  for (NodeId m : g.members) {
+    if (g.history_set.count(m)) {
+      leader = m;
+      any_history = true;
+      break;  // members is sorted: first hit is the lowest
+    }
+  }
+  if (!any_history || leader != id()) return;
+  g.join_retry_timer.cancel();
+  g.sync = SyncState::Synced;
+  g.had_state = true;
+  g.primary_component = true;
+  g.fulfillment_queue.clear();
+  g.synced_set.insert(id());
+  broadcast_synced_mark(g);
+}
+
+void Engine::replay_fulfillment(LocalGroup& g) {
+  if (g.fulfillment_queue.empty()) return;
+  const std::uint32_t rank = my_rank(g);
+  while (!g.fulfillment_queue.empty()) {
+    Envelope env = std::move(g.fulfillment_queue.front());
+    g.fulfillment_queue.pop_front();
+    env.fulfillment = true;
+    env.op_id.op_seq += kFulfillSeqOffset;
+    ++stats_.fulfillment_replayed;
+    send_invocation(std::move(env), rank);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// State transfer (three tiers)
+// ---------------------------------------------------------------------------
+
+void Engine::handle_join_request(LocalGroup& g, const Envelope& env) {
+  const bool was_primary = i_am_primary(g);
+  g.synced_set.erase(env.node);
+  g.member_status[env.node] = false;
+  if (env.has_history) {
+    g.history_set.insert(env.node);
+  } else {
+    g.history_set.erase(env.node);
+  }
+  check_promotion(g, was_primary);
+
+  if (env.node == id()) {
+    // Our own marker came back in total order: this is the point the
+    // donor's snapshot will describe. Start buffering everything after it.
+    if (env.round == g.join_round && g.sync == SyncState::Unsynced) {
+      g.sync = SyncState::AwaitingSnapshot;
+      g.buffered.clear();
+      g.snapshot_chunks.clear();
+      g.snapshot_donor = 0;
+    }
+    maybe_self_promote(g);
+    return;
+  }
+
+  maybe_self_promote(g);
+
+  if (g.sync != SyncState::Synced) return;
+  // Donor = lowest synced member (consistent at all replicas, since the
+  // synced set is derived from the same ordered marks).
+  NodeId donor = id();
+  for (NodeId m : g.members) {
+    if (g.synced_set.count(m)) {
+      donor = m;
+      break;
+    }
+  }
+  if (donor != id()) return;
+  serve_snapshot(g, env.node, env.round);
+}
+
+void Engine::serve_snapshot(LocalGroup& g, std::uint32_t joiner,
+                            std::uint32_t round) {
+  // Captured synchronously at the (ordered) marker: every synced replica's
+  // state is identical at this point, and processing never stops — the
+  // paper's "transfer while operating" requirement.
+  Bytes blob = encode_checkpoint(g, nullptr);
+  ++stats_.snapshots_served;
+  const std::uint32_t chunk = params_.snapshot_chunk_bytes;
+  const std::uint32_t count =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                     (blob.size() + chunk - 1) / chunk));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Envelope env;
+    env.kind = Kind::Snapshot;
+    env.target_group = g.cfg.name;
+    env.node = joiner;
+    env.round = round;
+    env.chunk_index = i;
+    env.chunk_count = count;
+    const std::size_t lo = static_cast<std::size_t>(i) * chunk;
+    const std::size_t hi = std::min(blob.size(), lo + chunk);
+    env.blob.assign(blob.begin() + lo, blob.begin() + hi);
+    send_envelope(g.cfg.name, env);
+  }
+}
+
+void Engine::handle_snapshot(LocalGroup& g, const Envelope& env) {
+  if (env.node != id()) return;
+  if (g.sync != SyncState::AwaitingSnapshot || env.round != g.join_round) {
+    return;
+  }
+  g.snapshot_chunks[env.chunk_index] = env.blob;
+  if (g.snapshot_chunks.size() < env.chunk_count) return;
+
+  Bytes blob;
+  for (auto& [idx, bytes] : g.snapshot_chunks) {
+    blob.insert(blob.end(), bytes.begin(), bytes.end());
+  }
+  g.snapshot_chunks.clear();
+  apply_checkpoint(g, blob);
+  ++stats_.snapshots_applied;
+  complete_sync(g);
+}
+
+void Engine::complete_sync(LocalGroup& g) {
+  const bool was_primary = i_am_primary(g);
+  g.join_retry_timer.cancel();
+  g.sync = SyncState::Synced;
+  g.had_state = true;
+  g.primary_component = true;
+  g.synced_set.insert(id());
+  broadcast_synced_mark(g);
+
+  // Replay everything that was delivered after the marker, in order.
+  g.replaying_buffer = true;
+  auto buffered = std::move(g.buffered);
+  g.buffered.clear();
+  for (auto& [env, carrier] : buffered) {
+    if (env.kind == Kind::Invocation) {
+      handle_invocation(g, env, carrier);
+    } else if (env.kind == Kind::StateUpdate) {
+      handle_state_update(g, env);
+    }
+  }
+  g.replaying_buffer = false;
+
+  // If this replica operated in a secondary component before resyncing,
+  // its recorded operations are now replayed onto the merged state.
+  replay_fulfillment(g);
+  check_promotion(g, was_primary);
+}
+
+void Engine::broadcast_synced_mark(LocalGroup& g) {
+  Envelope mark;
+  mark.kind = Kind::SyncedMark;
+  mark.target_group = g.cfg.name;
+  mark.node = id();
+  send_envelope(g.cfg.name, mark);
+}
+
+void Engine::handle_synced_mark(LocalGroup& g, const Envelope& env) {
+  const bool was_primary = i_am_primary(g);
+  g.synced_set.insert(env.node);
+  g.member_status[env.node] = true;
+  check_promotion(g, was_primary);
+}
+
+Bytes Engine::encode_checkpoint(const LocalGroup& g,
+                                CheckpointSizes* sizes) const {
+  // Tier 1: application state.
+  cdr::Encoder tier1;
+  g.replica->get_state(tier1);
+
+  // Tier 2: ORB state — the reply log and executed-operation set, without
+  // which a recovered replica would re-execute or fail to answer retries.
+  cdr::Encoder tier2;
+  tier2.put_ulong(static_cast<std::uint32_t>(g.reply_log_order.size()));
+  for (const OperationId& op : g.reply_log_order) {
+    auto it = g.reply_log.find(op);
+    tier2.put_ulonglong(op.parent.epoch);
+    tier2.put_ulonglong(op.parent.seq);
+    tier2.put_ulonglong(op.op_seq);
+    tier2.put_octet_seq(it->second);
+  }
+  tier2.put_ulong(static_cast<std::uint32_t>(g.known_ops.size()));
+  for (const OperationId& op : g.known_ops) {
+    tier2.put_ulonglong(op.parent.epoch);
+    tier2.put_ulonglong(op.parent.seq);
+    tier2.put_ulonglong(op.op_seq);
+  }
+
+  // Tier 3: infrastructure state — versions, the passive invocation log,
+  // and the synced set.
+  cdr::Encoder tier3;
+  tier3.put_ulonglong(g.state_version);
+  tier3.put_ulong(static_cast<std::uint32_t>(g.invocation_log.size()));
+  for (const auto& logged : g.invocation_log) {
+    tier3.put_octet_seq(encode(logged.env));
+    tier3.put_ulonglong(logged.carrier.epoch);
+    tier3.put_ulonglong(logged.carrier.seq);
+  }
+  tier3.put_ulong(static_cast<std::uint32_t>(g.synced_set.size()));
+  for (NodeId n : g.synced_set) tier3.put_ulong(n);
+
+  if (sizes) {
+    sizes->application = tier1.size();
+    sizes->orb = tier2.size();
+    sizes->infrastructure = tier3.size();
+  }
+
+  cdr::Encoder out;
+  out.put_octet_seq(tier1.data());
+  out.put_octet_seq(tier2.data());
+  out.put_octet_seq(tier3.data());
+  return out.take();
+}
+
+void Engine::apply_checkpoint(LocalGroup& g, const Bytes& blob) {
+  cdr::Decoder dec(blob);
+  const Bytes tier1 = dec.get_octet_seq();
+  const Bytes tier2 = dec.get_octet_seq();
+  const Bytes tier3 = dec.get_octet_seq();
+
+  {
+    cdr::Decoder d1(tier1);
+    g.replica->set_state(d1);
+  }
+  {
+    cdr::Decoder d2(tier2);
+    g.reply_log.clear();
+    g.reply_log_order.clear();
+    g.known_ops.clear();
+    const std::uint32_t replies = d2.get_ulong();
+    for (std::uint32_t i = 0; i < replies; ++i) {
+      OperationId op;
+      op.parent.epoch = d2.get_ulonglong();
+      op.parent.seq = d2.get_ulonglong();
+      op.op_seq = d2.get_ulonglong();
+      Bytes reply = d2.get_octet_seq();
+      g.reply_log.emplace(op, std::move(reply));
+      g.reply_log_order.push_back(op);
+    }
+    const std::uint32_t known = d2.get_ulong();
+    for (std::uint32_t i = 0; i < known; ++i) {
+      OperationId op;
+      op.parent.epoch = d2.get_ulonglong();
+      op.parent.seq = d2.get_ulonglong();
+      op.op_seq = d2.get_ulonglong();
+      g.known_ops.insert(op);
+    }
+  }
+  {
+    cdr::Decoder d3(tier3);
+    g.state_version = d3.get_ulonglong();
+    g.invocation_log.clear();
+    const std::uint32_t logged = d3.get_ulong();
+    for (std::uint32_t i = 0; i < logged; ++i) {
+      LoggedInvocation entry;
+      entry.env = decode_envelope(d3.get_octet_seq());
+      entry.carrier.epoch = d3.get_ulonglong();
+      entry.carrier.seq = d3.get_ulonglong();
+      g.invocation_log.push_back(std::move(entry));
+    }
+    g.synced_set.clear();
+    const std::uint32_t synced = d3.get_ulong();
+    for (std::uint32_t i = 0; i < synced; ++i) {
+      g.synced_set.insert(d3.get_ulong());
+    }
+  }
+}
+
+}  // namespace eternal::rep

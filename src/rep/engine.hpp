@@ -1,0 +1,336 @@
+// The replication engine — the paper's primary contribution.
+//
+// One Engine runs per processor (the Eternal "Replication Mechanisms +
+// Interceptor" pair). It observes every message on the totally-ordered
+// group channel and implements:
+//
+//  * object groups with ACTIVE, WARM_PASSIVE and COLD_PASSIVE replication,
+//    transparently invocable from outside the group;
+//  * unique operation identifiers and duplicate detection & suppression —
+//    receiver-side (never execute the same operation twice; retransmit the
+//    logged reply for a duplicate invocation) and sender-side (an active
+//    replica whose sibling's copy is delivered before its own staggered
+//    send cancels the send);
+//  * nested operations across groups of mixed replication styles, with
+//    coroutine-based executions suspended on nested replies — suspension
+//    and resumption are driven purely by the delivered total order, so all
+//    replicas interleave identically (the paper's multithreading lesson);
+//  * three-tier state transfer (application / ORB / infrastructure state)
+//    for joining or recovering replicas, captured at an ordered marker so
+//    processing never stops;
+//  * passive-replication state updates (postimages) and primary failover
+//    with re-invocation under the original operation identifiers;
+//  * partition support: primary-component determination, continued
+//    operation in secondary components, fulfillment-operation queues, and
+//    state reconciliation + fulfillment replay on remerge.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "giop/giop.hpp"
+#include "orb/adapter.hpp"
+#include "rep/replica.hpp"
+#include "rep/wire.hpp"
+#include "totem/group.hpp"
+#include "util/prng.hpp"
+
+namespace eternal::rep {
+
+using sim::NodeId;
+
+enum class Style : std::uint8_t {
+  Active = 0,
+  WarmPassive = 1,
+  ColdPassive = 2,
+};
+
+std::string to_string(Style s);
+
+struct GroupConfig {
+  std::string name;
+  Style style = Style::Active;
+};
+
+struct EngineParams {
+  /// Sender-side suppression stagger per replica rank. Rank 0 sends at
+  /// once; rank k waits k*stagger and cancels if a sibling's copy arrives.
+  sim::Time send_stagger = 300;
+  bool sender_side_suppression = true;  // ablation switch (experiment E5)
+  /// Use Replica::get_update postimages rather than full state for passive
+  /// updates (servants may override for incremental updates).
+  sim::Time join_retry = 50 * sim::kMillisecond;
+  std::uint32_t snapshot_chunk_bytes = 64 * 1024;
+  std::size_t reply_log_capacity = 1 << 16;
+  /// Simulated cost of applying state updates, in microseconds per KiB.
+  /// Models the CPU/IO work a real replica spends installing a postimage;
+  /// it is what makes cold-passive promotion (which must apply the whole
+  /// backlog before serving) visibly slower than warm-passive failover.
+  /// 0 disables the model (unit tests).
+  sim::Time update_apply_us_per_kib = 0;
+};
+
+struct EngineStats {
+  std::uint64_t invocations_executed = 0;
+  std::uint64_t duplicate_invocations_dropped = 0;
+  std::uint64_t duplicate_replies_resent = 0;
+  std::uint64_t sends_suppressed = 0;       // sender-side (invocations)
+  std::uint64_t responses_suppressed = 0;   // sender-side (responses)
+  std::uint64_t state_updates_applied = 0;
+  std::uint64_t snapshots_served = 0;
+  std::uint64_t snapshots_applied = 0;
+  std::uint64_t failovers = 0;              // this node became primary
+  std::uint64_t fulfillment_recorded = 0;
+  std::uint64_t fulfillment_replayed = 0;
+};
+
+/// Per-tier checkpoint sizes, reported by the E9 bench.
+struct CheckpointSizes {
+  std::size_t application = 0;   // tier 1
+  std::size_t orb = 0;           // tier 2: reply log, executed ops
+  std::size_t infrastructure = 0;  // tier 3: versions, logs, queues
+  std::size_t total() const { return application + orb + infrastructure; }
+};
+
+class Client;
+class ExecContext;
+
+class Engine {
+ public:
+  Engine(sim::Simulation& sim, totem::GroupLayer& groups,
+         EngineParams params = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  NodeId id() const { return groups_.id(); }
+  sim::Simulation& simulation() { return sim_; }
+  totem::GroupLayer& group_layer() { return groups_; }
+  const EngineParams& params() const { return params_; }
+  EngineStats& stats() { return stats_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Host a replica of an object group on this processor. `initial` marks
+  /// the bootstrap replicas that start with authoritative (empty) state;
+  /// replicas added later join unsynced and acquire state by transfer.
+  void host(const GroupConfig& cfg, std::shared_ptr<Replica> replica,
+            bool initial);
+  /// Remove the local replica (deliberate removal, e.g. live upgrade).
+  void unhost(const std::string& group);
+
+  /// Discard all volatile state after a processor crash: replica objects,
+  /// reply expectations, queued sends, the client stub. Call when the
+  /// processor restarts — a real process loses all of this with the crash;
+  /// replicas are re-acquired by hosting anew (state transfer).
+  void reset_after_crash();
+  bool hosts(const std::string& group) const {
+    return local_.count(group) != 0;
+  }
+
+  std::shared_ptr<Replica> local_replica(const std::string& group) const;
+  bool is_synced(const std::string& group) const;
+  bool is_primary(const std::string& group) const;
+  bool in_primary_component(const std::string& group) const;
+  std::uint64_t state_version(const std::string& group) const;
+  std::vector<NodeId> synced_members(const std::string& group) const;
+  std::vector<NodeId> group_members(const std::string& group) const;
+  std::size_t fulfillment_backlog(const std::string& group) const;
+  CheckpointSizes checkpoint_sizes(const std::string& group) const;
+
+  /// The node's default (unreplicated) client stub.
+  Client& client();
+
+  /// Observer for every group view change (hosted or not); used by the
+  /// FT-CORBA management layer (ReplicationManager).
+  void set_view_observer(std::function<void(const totem::GroupView&)> fn) {
+    view_observer_ = std::move(fn);
+  }
+
+  // --- used by Client and by nested-invocation contexts -------------------
+  struct PendingReply {
+    orb::Future<cdr::Bytes> future;
+  };
+  /// Send an invocation envelope (subject to sender-side suppression when
+  /// `rank` > 0) and register interest in its response under `reply_group`.
+  void send_invocation(Envelope env, std::uint32_t rank);
+  /// Register a future to resolve when a Response for op arrives addressed
+  /// to reply_group.
+  orb::Future<cdr::Bytes> expect_reply(const std::string& reply_group,
+                                       const OperationId& op);
+  void cancel_reply(const std::string& reply_group, const OperationId& op);
+
+ private:
+  friend class Client;
+  friend class ExecContext;
+
+  struct LoggedInvocation {
+    Envelope env;
+    GlobalSeq carrier;
+    bool completed = false;  // a StateUpdate/read-only response was seen
+  };
+
+  struct Execution;
+
+  enum class SyncState : std::uint8_t { Unsynced, AwaitingSnapshot, Synced };
+
+  struct LocalGroup {
+    GroupConfig cfg;
+    std::shared_ptr<Replica> replica;
+
+    std::vector<NodeId> members;   // last delivered group view
+    std::set<NodeId> synced_set;   // ordered-consistent synced members
+    /// Members whose last JoinRequest declared prior state (resync, not
+    /// bootstrap) — ordered-consistent, like synced_set.
+    std::set<NodeId> history_set;
+    /// Post-merge status declarations: node -> claims-synced. After a view
+    /// gains members, both sides' pre-merge knowledge is cleared and this
+    /// map is rebuilt from ordered SyncedMark/JoinRequest messages; the
+    /// self-promotion fallback waits until every member has declared.
+    std::map<NodeId, bool> member_status;
+    bool had_state = false;        // this replica has ever held group state
+    bool primary_component = true;
+    std::uint64_t state_version = 0;
+
+    SyncState sync = SyncState::Unsynced;
+    std::uint32_t join_round = 0;
+    sim::TimerHandle join_retry_timer;
+    std::vector<std::pair<Envelope, GlobalSeq>> buffered;  // post-marker
+    std::map<std::uint32_t, Bytes> snapshot_chunks;
+    std::uint32_t snapshot_donor = 0;
+
+    // Tier-2 (ORB) state.
+    std::map<OperationId, Bytes> reply_log;       // op -> GIOP reply
+    std::deque<OperationId> reply_log_order;      // FIFO eviction
+    std::set<OperationId> known_ops;              // executed or in progress
+
+    // Passive machinery.
+    std::deque<LoggedInvocation> invocation_log;  // awaiting StateUpdate
+    std::deque<std::pair<Envelope, GlobalSeq>> exec_queue;  // serialized
+    bool executing = false;
+    bool exec_hold = false;  // promotion still applying the update backlog
+    sim::TimerHandle exec_hold_timer;
+    std::map<OperationId, Bytes> pending_updates;   // cold: unapplied
+    std::deque<OperationId> pending_update_order;
+    /// op -> (operation name, state version) for cold pending updates
+    std::map<OperationId, std::pair<std::string, std::uint64_t>>
+        pending_update_meta;
+
+    // Executions in flight (active replicas / passive primary).
+    std::map<OperationId, std::unique_ptr<Execution>> running;
+
+    // Tier-3 (infrastructure) state.
+    std::deque<Envelope> fulfillment_queue;
+    bool replaying_buffer = false;
+  };
+
+  struct PendingSend {
+    Envelope env;
+    sim::TimerHandle timer;
+    bool is_response = false;
+  };
+
+  // --- message handling ---
+  void on_message(const totem::GroupMessage& m);
+  void route(const Envelope& env, const GlobalSeq& carrier, NodeId sender);
+  void handle_invocation(LocalGroup& g, const Envelope& env,
+                         const GlobalSeq& carrier);
+  void handle_response(const Envelope& env, NodeId sender);
+  void handle_state_update(LocalGroup& g, const Envelope& env);
+  void handle_join_request(LocalGroup& g, const Envelope& env);
+  void handle_snapshot(LocalGroup& g, const Envelope& env);
+  void handle_synced_mark(LocalGroup& g, const Envelope& env);
+
+  // --- execution ---
+  void start_execution(LocalGroup& g, const Envelope& env,
+                       const GlobalSeq& carrier);
+  void finish_execution(LocalGroup& g, Execution& exec,
+                        std::exception_ptr error);
+  void pump_exec_queue(LocalGroup& g);
+  bool i_am_primary(const LocalGroup& g) const;
+  std::uint32_t my_rank(const LocalGroup& g) const;
+
+  // --- responses & suppression ---
+  void queue_send(Envelope env, std::uint32_t rank, bool is_response);
+  void resend_logged_reply(LocalGroup& g, const Envelope& inv);
+
+  // --- membership / partitions ---
+  void on_group_view(const totem::GroupView& v);
+  void check_promotion(LocalGroup& g, bool was_primary);
+  void begin_resync(LocalGroup& g);
+  void maybe_self_promote(LocalGroup& g);
+  void replay_fulfillment(LocalGroup& g);
+
+  // --- state transfer ---
+  Bytes encode_checkpoint(const LocalGroup& g, CheckpointSizes* sizes) const;
+  void apply_checkpoint(LocalGroup& g, const Bytes& blob);
+  void serve_snapshot(LocalGroup& g, std::uint32_t joiner,
+                      std::uint32_t round);
+  void complete_sync(LocalGroup& g);
+  void broadcast_synced_mark(LocalGroup& g);
+
+  void log_reply(LocalGroup& g, const OperationId& op, Bytes reply);
+  void send_envelope(const std::string& totem_group, const Envelope& env);
+
+  sim::Simulation& sim_;
+  totem::GroupLayer& groups_;
+  EngineParams params_;
+  EngineStats stats_;
+
+  std::map<std::string, LocalGroup> local_;
+  /// reply_group -> (op -> future) for in-flight outbound operations.
+  std::map<std::string, std::map<OperationId, orb::Future<cdr::Bytes>>>
+      expected_replies_;
+  /// Sender-side suppression: staggered sends cancellable on sibling copy.
+  std::map<OperationId, PendingSend> pending_invocation_sends_;
+  std::map<OperationId, PendingSend> pending_response_sends_;
+
+  std::unique_ptr<Client> client_;
+  std::function<void(const totem::GroupView&)> view_observer_;
+};
+
+/// Client stub: the unreplicated invoker used by applications, examples and
+/// benches. Retransmits unanswered invocations under the same operation
+/// identifier (the FT_REQUEST pattern), so a failover never causes a lost
+/// or duplicated operation.
+class Client {
+ public:
+  Client(Engine& engine, std::string name);
+  ~Client();
+
+  const std::string& reply_group() const { return reply_group_; }
+
+  /// Asynchronous invocation; the future resolves with the GIOP reply body
+  /// or rejects with the carried SystemException.
+  orb::Future<cdr::Bytes> invoke(const std::string& group,
+                                 const std::string& op, cdr::Bytes args);
+
+  /// Drive the simulation until the reply arrives or `timeout` elapses
+  /// (TIMEOUT system exception). For tests, examples and benches.
+  cdr::Bytes invoke_blocking(const std::string& group, const std::string& op,
+                             cdr::Bytes args,
+                             sim::Time timeout = 5 * sim::kSecond);
+
+  void set_retry_interval(sim::Time t) { retry_interval_ = t; }
+
+ private:
+  void retransmit_arm(const OperationId& op);
+
+  Engine& engine_;
+  std::string reply_group_;
+  std::uint64_t next_op_ = 1;
+  sim::Time retry_interval_ = 100 * sim::kMillisecond;
+  struct Outstanding {
+    Envelope env;
+    sim::TimerHandle retry;
+  };
+  std::map<OperationId, Outstanding> outstanding_;
+};
+
+}  // namespace eternal::rep

@@ -1,0 +1,1 @@
+#include "rep/replica.hpp"

@@ -1,0 +1,69 @@
+#include "rep/wire.hpp"
+
+namespace eternal::rep {
+
+namespace {
+void put_seq(cdr::Encoder& enc, const GlobalSeq& s) {
+  enc.put_ulonglong(s.epoch);
+  enc.put_ulonglong(s.seq);
+}
+GlobalSeq get_seq(cdr::Decoder& dec) {
+  GlobalSeq s;
+  s.epoch = dec.get_ulonglong();
+  s.seq = dec.get_ulonglong();
+  return s;
+}
+}  // namespace
+
+Bytes encode(const Envelope& env) {
+  cdr::Encoder enc;
+  enc.put_octet(static_cast<std::uint8_t>(env.kind));
+  put_seq(enc, env.op_id.parent);
+  enc.put_ulonglong(env.op_id.op_seq);
+  enc.put_string(env.target_group);
+  enc.put_string(env.reply_group);
+  enc.put_string(env.source_group);
+  enc.put_boolean(env.fulfillment);
+  enc.put_ulonglong(env.timestamp);
+  enc.put_octet_seq(env.giop);
+  enc.put_ulonglong(env.state_version);
+  enc.put_string(env.operation);
+  enc.put_octet_seq(env.update);
+  enc.put_boolean(env.read_only);
+  enc.put_ulong(env.node);
+  enc.put_ulong(env.round);
+  enc.put_boolean(env.has_history);
+  enc.put_ulong(env.chunk_index);
+  enc.put_ulong(env.chunk_count);
+  enc.put_octet_seq(env.blob);
+  return enc.take();
+}
+
+Envelope decode_envelope(const Bytes& wire) {
+  cdr::Decoder dec(wire);
+  Envelope env;
+  const std::uint8_t kind = dec.get_octet();
+  if (kind < 1 || kind > 6) throw cdr::MarshalError("bad envelope kind");
+  env.kind = static_cast<Kind>(kind);
+  env.op_id.parent = get_seq(dec);
+  env.op_id.op_seq = dec.get_ulonglong();
+  env.target_group = dec.get_string();
+  env.reply_group = dec.get_string();
+  env.source_group = dec.get_string();
+  env.fulfillment = dec.get_boolean();
+  env.timestamp = dec.get_ulonglong();
+  env.giop = dec.get_octet_seq();
+  env.state_version = dec.get_ulonglong();
+  env.operation = dec.get_string();
+  env.update = dec.get_octet_seq();
+  env.read_only = dec.get_boolean();
+  env.node = dec.get_ulong();
+  env.round = dec.get_ulong();
+  env.has_history = dec.get_boolean();
+  env.chunk_index = dec.get_ulong();
+  env.chunk_count = dec.get_ulong();
+  env.blob = dec.get_octet_seq();
+  return env;
+}
+
+}  // namespace eternal::rep

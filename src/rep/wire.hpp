@@ -1,0 +1,64 @@
+// Replication-layer message envelopes.
+//
+// The infrastructure exchanges six envelope kinds over the totally-ordered
+// group channel. Invocations and responses carry *real GIOP messages*
+// (request/reply) inside the envelope, mirroring how the original system
+// intercepted IIOP messages below the ORB and tunnelled them through the
+// group-communication system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cdr/cdr.hpp"
+#include "rep/ids.hpp"
+
+namespace eternal::rep {
+
+using cdr::Bytes;
+
+enum class Kind : std::uint8_t {
+  Invocation = 1,   // GIOP Request + operation identifier
+  Response = 2,     // GIOP Reply + operation identifier
+  StateUpdate = 3,  // passive-replication postimage
+  JoinRequest = 4,  // ordered marker: a replica wants the group state
+  Snapshot = 5,     // three-tier state, possibly chunked
+  SyncedMark = 6,   // ordered record that a replica holds consistent state
+};
+
+struct Envelope {
+  Kind kind = Kind::Invocation;
+  OperationId op_id;
+
+  std::string target_group;  // group this envelope is addressed to
+  std::string reply_group;   // where responses should go (Invocation)
+  std::string source_group;  // invoking group ("" = unreplicated client)
+
+  bool fulfillment = false;   // replay of a secondary-component operation
+  std::uint64_t timestamp = 0;  // sanitized time base for the operation
+
+  Bytes giop;  // GIOP Request (Invocation) or GIOP Reply (Response)
+
+  // StateUpdate
+  std::uint64_t state_version = 0;
+  std::string operation;  // operation that produced the update (diagnostics)
+  Bytes update;           // postimage bytes (replica-defined encoding)
+  bool read_only = false;
+
+  // JoinRequest / Snapshot / SyncedMark
+  std::uint32_t node = 0;        // joiner / synced / donor node
+  std::uint32_t round = 0;       // join-request round (retry discrimination)
+  /// JoinRequest: the joiner previously held consistent state (it is
+  /// resyncing after a partition, not bootstrapping empty). Orders the
+  /// self-promotion fallback so a fresh replica never outranks a state
+  /// holder.
+  bool has_history = false;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 0;
+  Bytes blob;                    // snapshot chunk payload
+};
+
+Bytes encode(const Envelope& env);
+Envelope decode_envelope(const Bytes& wire);
+
+}  // namespace eternal::rep

@@ -1,0 +1,63 @@
+#include "sim/fault_plan.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace eternal::sim {
+
+FaultPlan& FaultPlan::crash_at(Time t, NodeId node) {
+  steps_.push_back({t, "crash node " + std::to_string(node),
+                    [this, node] { net_.crash(node); }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover_at(Time t, NodeId node) {
+  steps_.push_back({t, "recover node " + std::to_string(node),
+                    [this, node] { net_.recover(node); }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_at(Time t,
+                                   std::vector<std::vector<NodeId>> comps) {
+  std::ostringstream label;
+  label << "partition";
+  for (const auto& c : comps) {
+    label << " {";
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      label << (i ? "," : "") << c[i];
+    }
+    label << "}";
+  }
+  steps_.push_back({t, label.str(), [this, comps = std::move(comps)] {
+                      net_.set_partitions(comps);
+                    }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_at(Time t) {
+  steps_.push_back({t, "heal partitions", [this] { net_.heal_partitions(); }});
+  return *this;
+}
+
+FaultPlan& FaultPlan::action_at(Time t, std::function<void()> fn) {
+  steps_.push_back({t, "scripted action", std::move(fn)});
+  return *this;
+}
+
+void FaultPlan::arm() {
+  if (armed_) throw std::logic_error("FaultPlan armed twice");
+  armed_ = true;
+  for (auto& s : steps_) {
+    net_.simulation().at(s.time, s.fn);
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const auto& s : steps_) {
+    os << "t=" << s.time << "us: " << s.label << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eternal::sim

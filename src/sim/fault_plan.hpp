@@ -1,0 +1,45 @@
+// Scripted fault injection.
+//
+// The paper's experiments were driven by operators killing processes and
+// pulling cables; a FaultPlan is the reproducible equivalent: a schedule of
+// crash / recover / partition / heal actions applied to the network at fixed
+// simulated times.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace eternal::sim {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(Network& net) : net_(net) {}
+
+  FaultPlan& crash_at(Time t, NodeId node);
+  FaultPlan& recover_at(Time t, NodeId node);
+  FaultPlan& partition_at(Time t, std::vector<std::vector<NodeId>> components);
+  FaultPlan& heal_at(Time t);
+  /// Arbitrary scripted action (e.g. change loss rate mid-run).
+  FaultPlan& action_at(Time t, std::function<void()> fn);
+
+  /// Schedule every recorded action on the simulation. Call once.
+  void arm();
+
+  /// Human-readable description of the plan, for bench harness output.
+  std::string describe() const;
+
+ private:
+  struct Step {
+    Time time;
+    std::string label;
+    std::function<void()> fn;
+  };
+  Network& net_;
+  std::vector<Step> steps_;
+  bool armed_ = false;
+};
+
+}  // namespace eternal::sim

@@ -1,0 +1,99 @@
+#include "sim/network.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace eternal::sim {
+
+Network::Network(Simulation& sim, std::size_t node_count, NetParams params)
+    : sim_(sim),
+      params_(params),
+      handlers_(node_count),
+      up_(node_count, true),
+      component_(node_count, 0) {}
+
+void Network::set_handler(NodeId node, Handler handler) {
+  handlers_.at(node) = std::move(handler);
+}
+
+Time Network::transit_time(std::size_t bytes) {
+  Time t = params_.base_latency;
+  if (params_.jitter > 0) {
+    t += sim_.rng().below(params_.jitter);
+  }
+  if (params_.bytes_per_us > 0) {
+    t += static_cast<Time>(static_cast<double>(bytes) / params_.bytes_per_us);
+  }
+  return t;
+}
+
+void Network::deliver(NodeId from, NodeId to, const Bytes& data) {
+  if (!up_[from]) return;
+  if (!reachable(from, to)) {
+    ++stats_.datagrams_partitioned;
+    return;
+  }
+  if (params_.loss_probability > 0 &&
+      sim_.rng().chance(params_.loss_probability)) {
+    ++stats_.datagrams_lost;
+    return;
+  }
+  // Copy the payload into a shared buffer per receiver; the handler runs at
+  // delivery time, potentially after the sender's buffer is gone.
+  auto payload = std::make_shared<Bytes>(data);
+  sim_.after(transit_time(data.size()), [this, from, to, payload] {
+    // Partition/crash state is re-checked at delivery: messages in flight
+    // when a partition forms or the receiver dies are lost, as on a real LAN.
+    if (!up_[to] || !reachable(from, to)) {
+      ++stats_.datagrams_partitioned;
+      return;
+    }
+    if (handlers_[to]) {
+      ++stats_.datagrams_delivered;
+      handlers_[to](from, *payload);
+    }
+  });
+}
+
+void Network::unicast(NodeId from, NodeId to, Bytes data) {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("Network::unicast node id");
+  }
+  if (!up_[from]) return;
+  ++stats_.unicasts_sent;
+  stats_.bytes_sent += data.size();
+  deliver(from, to, data);
+}
+
+void Network::multicast(NodeId from, Bytes data) {
+  if (from >= handlers_.size()) {
+    throw std::out_of_range("Network::multicast node id");
+  }
+  if (!up_[from]) return;
+  ++stats_.multicasts_sent;
+  stats_.bytes_sent += data.size();
+  for (NodeId to = 0; to < handlers_.size(); ++to) {
+    if (to == from) continue;
+    deliver(from, to, data);
+  }
+}
+
+void Network::crash(NodeId node) { up_.at(node) = false; }
+
+void Network::recover(NodeId node) { up_.at(node) = true; }
+
+void Network::set_partitions(const std::vector<std::vector<NodeId>>& comps) {
+  // Component 0 is the implicit component for unlisted nodes.
+  for (auto& c : component_) c = 0;
+  std::uint32_t id = 1;
+  for (const auto& comp : comps) {
+    for (NodeId n : comp) component_.at(n) = id;
+    ++id;
+  }
+}
+
+void Network::heal_partitions() {
+  for (auto& c : component_) c = 0;
+}
+
+}  // namespace eternal::sim

@@ -1,0 +1,106 @@
+// Deterministic discrete-event simulation engine.
+//
+// All protocol code in this repository runs on top of this engine: an event
+// is a timestamped closure, and time only advances when events execute. Two
+// runs with the same seed execute the same events in the same order, which
+// is what lets the partition/remerge and failover experiments be exact and
+// lets property tests assert replica-state equality byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/prng.hpp"
+
+namespace eternal::sim {
+
+/// Simulated time in microseconds since simulation start.
+using Time = std::uint64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * 1000;
+
+/// Cancellable handle to a scheduled event. Cancellation is O(1): the event
+/// stays in the queue but is skipped when popped.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() noexcept {
+    if (auto ev = event_.lock()) ev->cancelled = true;
+    event_.reset();
+  }
+
+  bool active() const noexcept {
+    auto ev = event_.lock();
+    return ev && !ev->cancelled && !ev->fired;
+  }
+
+ private:
+  friend class Simulation;
+  struct Event {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit TimerHandle(std::shared_ptr<Event> ev) : event_(ev) {}
+  std::weak_ptr<Event> event_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Time now() const noexcept { return now_; }
+  util::Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Schedule fn at absolute time t (clamped to now if in the past).
+  TimerHandle at(Time t, std::function<void()> fn);
+  /// Schedule fn after a relative delay.
+  TimerHandle after(Time delay, std::function<void()> fn);
+
+  /// Execute the next pending event; returns false if none remain.
+  bool step();
+  /// Run until the queue drains. Throws if the event limit is exceeded,
+  /// which catches protocol livelock in tests.
+  void run();
+  /// Run all events with time <= t, then advance the clock to t.
+  void run_until(Time t);
+  void run_for(Time delta);
+
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  using Event = TimerHandle::Event;
+
+  struct Later {
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const noexcept {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;  // FIFO among simultaneous events
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = 200'000'000;
+  util::Xoshiro256 rng_;
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
+                      Later>
+      queue_;
+};
+
+}  // namespace eternal::sim

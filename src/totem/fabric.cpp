@@ -1,0 +1,72 @@
+#include "totem/fabric.hpp"
+
+#include <map>
+
+namespace eternal::totem {
+
+Fabric::Fabric(sim::Simulation& sim, sim::Network& net, Params params)
+    : sim_(sim), net_(net) {
+  const std::size_t n = net.node_count();
+  nodes_.reserve(n);
+  groups_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, net_, static_cast<NodeId>(i), params));
+    groups_.push_back(std::make_unique<GroupLayer>(*nodes_.back()));
+    net_.set_handler(static_cast<NodeId>(i),
+                     [node = nodes_.back().get()](NodeId from,
+                                                  const sim::Bytes& data) {
+                       node->on_receive(from, data);
+                     });
+  }
+}
+
+void Fabric::start_all() {
+  for (auto& n : nodes_) n->start();
+}
+
+void Fabric::crash(NodeId id) {
+  net_.crash(id);
+  nodes_.at(id)->halt();
+}
+
+void Fabric::restart(NodeId id) {
+  net_.recover(id);
+  nodes_.at(id)->restart();
+}
+
+bool Fabric::converged() const {
+  // Group live nodes by network component; within each component all nodes
+  // must be operational, on the same ring, with membership equal to the
+  // component's live node set.
+  std::map<std::uint32_t, std::vector<NodeId>> comps;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!net_.is_up(i) || !nodes_[i]->running()) continue;
+    comps[net_.component_of(i)].push_back(i);
+  }
+  for (const auto& [comp, members] : comps) {
+    const Node& first = *nodes_[members.front()];
+    if (!first.operational()) return false;
+    const RingId ring = first.ring_id();
+    if (first.members() != members) return false;
+    for (NodeId m : members) {
+      const Node& node = *nodes_[m];
+      if (!node.operational() || !(node.ring_id() == ring)) return false;
+    }
+  }
+  return true;
+}
+
+bool Fabric::run_until_converged(sim::Time timeout) {
+  const sim::Time deadline = sim_.now() + timeout;
+  // Poll in protocol-scale steps; convergence is stable once reached (no
+  // faults injected in between), so coarse polling is fine.
+  const sim::Time step = 500 * sim::kMicrosecond;
+  while (sim_.now() < deadline) {
+    if (converged()) return true;
+    sim_.run_for(step);
+  }
+  return converged();
+}
+
+}  // namespace eternal::totem

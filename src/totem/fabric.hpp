@@ -1,0 +1,53 @@
+// Fabric: the group-communication substrate for a whole simulated cluster.
+//
+// Owns one protocol Node and one GroupLayer per processor, wires them to the
+// simulated network, and offers cluster-level conveniences (start, crash,
+// restart, convergence waits) used by the replication layer, the tests and
+// the benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "totem/group.hpp"
+#include "totem/node.hpp"
+
+namespace eternal::totem {
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, sim::Network& net, Params params = {});
+
+  sim::Simulation& simulation() noexcept { return sim_; }
+  sim::Network& network() noexcept { return net_; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  GroupLayer& group(NodeId id) { return *groups_.at(id); }
+
+  /// Start every node (each begins membership formation immediately).
+  void start_all();
+
+  /// Crash a processor: network isolation plus protocol halt.
+  void crash(NodeId id);
+  /// Restart a crashed processor with empty protocol state.
+  void restart(NodeId id);
+  bool is_up(NodeId id) const { return net_.is_up(id); }
+
+  /// Run the simulation until every *live, mutually reachable* node is
+  /// operational and nodes in the same component share a ring. Returns true
+  /// on convergence, false if `timeout` simulated time elapsed first.
+  bool run_until_converged(sim::Time timeout);
+
+  /// True if every live node is operational and each network component's
+  /// live nodes agree on one ring.
+  bool converged() const;
+
+ private:
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<GroupLayer>> groups_;
+};
+
+}  // namespace eternal::totem

@@ -1,0 +1,134 @@
+#include "totem/group.hpp"
+
+#include <algorithm>
+
+#include "cdr/cdr.hpp"
+
+namespace eternal::totem {
+
+GroupLayer::GroupLayer(Node& node) : node_(node) {
+  node_.set_deliver([this](const Delivered& d) { on_deliver(d); });
+  node_.set_view([this](const ViewEvent& v) { on_view(v); });
+}
+
+void GroupLayer::join(const std::string& group) {
+  if (!my_groups_.insert(group).second) return;
+  announce();
+}
+
+void GroupLayer::leave(const std::string& group) {
+  if (my_groups_.erase(group) == 0) return;
+  announce();
+}
+
+void GroupLayer::send(const std::string& group, Bytes payload) {
+  node_.broadcast(group, std::move(payload), /*control=*/false);
+}
+
+void GroupLayer::subscribe(const std::string& group, MsgFn fn) {
+  subscribers_[group] = std::move(fn);
+}
+
+void GroupLayer::unsubscribe(const std::string& group) {
+  subscribers_.erase(group);
+}
+
+std::vector<NodeId> GroupLayer::members_of(const std::string& group) const {
+  std::vector<NodeId> out;
+  for (const auto& [node, groups] : node_groups_) {
+    if (groups.count(group)) out.push_back(node);
+  }
+  return out;  // map iteration is already sorted by node id
+}
+
+void GroupLayer::announce() {
+  // Announcements carry the full group list, so they are idempotent and a
+  // re-announcement after a view change fully reconstructs remote state.
+  cdr::Encoder enc;
+  enc.put_ulong(static_cast<std::uint32_t>(my_groups_.size()));
+  for (const auto& g : my_groups_) enc.put_string(g);
+  node_.broadcast(kAnnounceGroup, enc.take(), /*control=*/true);
+}
+
+void GroupLayer::handle_announce(NodeId origin, const Bytes& payload) {
+  cdr::Decoder dec(payload);
+  const std::uint32_t n = dec.get_ulong();
+  if (n > 65536) throw cdr::MarshalError("implausible group count");
+  std::set<std::string> groups;
+  for (std::uint32_t i = 0; i < n; ++i) groups.insert(dec.get_string());
+  node_groups_[origin] = std::move(groups);
+  recompute_and_fire();
+}
+
+void GroupLayer::on_deliver(const Delivered& d) {
+  if (d.control) {
+    if (d.group == kAnnounceGroup) handle_announce(d.origin, d.payload);
+    return;
+  }
+  GroupMessage msg;
+  msg.group = d.group;
+  msg.sender = d.origin;
+  msg.ring = d.ring;
+  msg.seq = d.seq;
+  msg.transitional = d.transitional;
+  msg.payload = d.payload;
+  auto it = subscribers_.find(d.group);
+  if (it != subscribers_.end()) it->second(msg);
+  if (catch_all_) catch_all_(msg);
+}
+
+void GroupLayer::on_view(const ViewEvent& v) {
+  if (v.kind == ViewEvent::Kind::Regular) {
+    // Drop knowledge about processors outside the new configuration, then
+    // tell everyone (again) what we host: in a merge, the other component
+    // has never heard our announcements.
+    for (auto it = node_groups_.begin(); it != node_groups_.end();) {
+      if (std::find(v.members.begin(), v.members.end(), it->first) ==
+          v.members.end()) {
+        it = node_groups_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    announce();
+  }
+  if (ring_view_) {
+    ring_view_(RingView{v.kind, v.ring, v.members});
+  }
+  if (v.kind == ViewEvent::Kind::Regular) {
+    recompute_and_fire();
+  }
+}
+
+std::map<std::string, std::vector<NodeId>> GroupLayer::compute_memberships()
+    const {
+  std::map<std::string, std::vector<NodeId>> m;
+  for (const auto& [node, groups] : node_groups_) {
+    for (const auto& g : groups) m[g].push_back(node);
+  }
+  return m;
+}
+
+void GroupLayer::recompute_and_fire() {
+  auto current = compute_memberships();
+  if (!group_view_) {
+    last_fired_ = std::move(current);
+    return;
+  }
+  // Fire for changed or new groups...
+  for (const auto& [group, members] : current) {
+    auto it = last_fired_.find(group);
+    if (it == last_fired_.end() || it->second != members) {
+      group_view_(GroupView{group, members, node_.ring_id()});
+    }
+  }
+  // ...and for groups that lost their last member.
+  for (const auto& [group, members] : last_fired_) {
+    if (!current.count(group)) {
+      group_view_(GroupView{group, {}, node_.ring_id()});
+    }
+  }
+  last_fired_ = std::move(current);
+}
+
+}  // namespace eternal::totem

@@ -1,0 +1,115 @@
+// Process-group layer on top of the ring protocol.
+//
+// The ring orders *all* messages system-wide; this layer adds named groups:
+// local processes join/leave groups, messages are addressed to a group, and
+// every node derives an identical per-group membership from the same totally
+// ordered stream of announcements. This is the Totem process-group interface
+// the paper's object groups are built on: senders need not be members, and
+// the membership every node computes is consistent because it is a pure
+// function of the delivered sequence.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "totem/node.hpp"
+
+namespace eternal::totem {
+
+/// An application message delivered to a group, in total order.
+struct GroupMessage {
+  std::string group;
+  NodeId sender = 0;
+  RingId ring;            // configuration the message was ordered in
+  std::uint64_t seq = 0;  // position within that configuration
+  bool transitional = false;
+  Bytes payload;
+};
+
+/// A change in the membership of one group.
+struct GroupView {
+  std::string group;
+  std::vector<NodeId> members;  // sorted node ids hosting group members
+  RingId ring;
+};
+
+/// A change in ring (processor-level) membership, forwarded from the node.
+struct RingView {
+  ViewEvent::Kind kind = ViewEvent::Kind::Regular;
+  RingId ring;
+  std::vector<NodeId> members;
+};
+
+class GroupLayer {
+ public:
+  using MsgFn = std::function<void(const GroupMessage&)>;
+  using GroupViewFn = std::function<void(const GroupView&)>;
+  using RingViewFn = std::function<void(const RingView&)>;
+
+  explicit GroupLayer(Node& node);
+
+  GroupLayer(const GroupLayer&) = delete;
+  GroupLayer& operator=(const GroupLayer&) = delete;
+
+  Node& node() noexcept { return node_; }
+  NodeId id() const noexcept { return node_.id(); }
+
+  /// Join/leave a group on this node. Takes effect system-wide when the
+  /// (totally ordered) announcement is delivered.
+  void join(const std::string& group);
+  void leave(const std::string& group);
+  bool joined(const std::string& group) const {
+    return my_groups_.count(group) != 0;
+  }
+
+  /// Totally-ordered multicast to a group. The sender need not be a member;
+  /// the sender's own subscriber sees the message too (self-delivery).
+  void send(const std::string& group, Bytes payload);
+
+  /// Local delivery of messages addressed to a group. One subscriber per
+  /// group per node; the replication engine multiplexes above this.
+  void subscribe(const std::string& group, MsgFn fn);
+  void unsubscribe(const std::string& group);
+
+  /// Catch-all subscriber: sees every application message on the ring,
+  /// regardless of group. This models the Eternal interceptor, which
+  /// observes all multicast traffic below the ORB and does its own routing
+  /// (duplicate suppression needs to see siblings' sends too).
+  void subscribe_all(MsgFn fn) { catch_all_ = std::move(fn); }
+
+  void set_group_view_handler(GroupViewFn fn) { group_view_ = std::move(fn); }
+  void set_ring_view_handler(RingViewFn fn) { ring_view_ = std::move(fn); }
+
+  /// Membership of a group as this node currently knows it.
+  std::vector<NodeId> members_of(const std::string& group) const;
+  /// Current ring membership (the processors of this node's component).
+  const std::vector<NodeId>& ring_members() const {
+    return node_.members();
+  }
+  RingId ring() const { return node_.ring_id(); }
+
+ private:
+  void on_deliver(const Delivered& d);
+  void on_view(const ViewEvent& v);
+  void handle_announce(NodeId origin, const Bytes& payload);
+  void announce();
+  void recompute_and_fire();
+  std::map<std::string, std::vector<NodeId>> compute_memberships() const;
+
+  Node& node_;
+  std::set<std::string> my_groups_;
+  /// groups each node announced, pruned to ring members on view change
+  std::map<NodeId, std::set<std::string>> node_groups_;
+  std::map<std::string, std::vector<NodeId>> last_fired_;
+  std::map<std::string, MsgFn> subscribers_;
+  MsgFn catch_all_;
+  GroupViewFn group_view_;
+  RingViewFn ring_view_;
+};
+
+inline constexpr const char* kAnnounceGroup = "__totem.group_announce";
+
+}  // namespace eternal::totem

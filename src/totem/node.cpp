@@ -1,0 +1,670 @@
+#include "totem/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace eternal::totem {
+
+namespace {
+constexpr std::uint64_t kNoAru = std::numeric_limits<std::uint64_t>::max();
+
+std::vector<NodeId> intersect(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+}  // namespace
+
+Node::Node(sim::Simulation& sim, sim::Network& net, NodeId id, Params params)
+    : sim_(sim), net_(net), id_(id), params_(params) {}
+
+void Node::start() {
+  if (state_ != State::Down) return;
+  state_ = State::Gather;  // enter_gather requires a non-Down state
+  enter_gather();
+  // Periodic ring announcement: lets disjoint rings discover each other
+  // once the network remerges. Runs for the life of the node.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick] {
+    if (state_ == State::Down) return;
+    if (state_ == State::Operational) {
+      Packet pkt;
+      pkt.kind = MsgKind::RingAnnounce;
+      pkt.announce = RingAnnounceMsg{id_, cur_.id, cur_.members};
+      multicast(pkt);
+    }
+    announce_timer_ = sim_.after(params_.announce_interval, *tick);
+  };
+  announce_timer_ = sim_.after(params_.announce_interval, *tick);
+}
+
+void Node::halt() {
+  state_ = State::Down;
+  cancel_token_timers();
+  join_timer_.cancel();
+  consensus_timer_.cancel();
+  commit_timer_.cancel();
+  announce_timer_.cancel();
+}
+
+void Node::restart() {
+  if (state_ != State::Down) return;
+  cur_ = RingState{};
+  old_.reset();
+  pending_.clear();
+  recovery_pending_.clear();
+  last_join_.clear();
+  candidates_.clear();
+  last_token_id_ = 0;
+  last_sent_token_.reset();
+  recovery_done_from_.clear();
+  commit_pass2_seen_ = false;
+  start();
+}
+
+void Node::broadcast(std::string group, Bytes payload, bool control) {
+  DataMsg d;
+  d.origin = id_;
+  d.flags = control ? kFlagControl : 0;
+  d.group = std::move(group);
+  d.payload = std::move(payload);
+  pending_.push_back(std::move(d));
+}
+
+void Node::on_receive(NodeId /*from*/, const Bytes& wire) {
+  if (state_ == State::Down) return;
+  Packet pkt = decode_packet(wire);
+  switch (pkt.kind) {
+    case MsgKind::Data: handle_data(pkt.data); break;
+    case MsgKind::Token: handle_token(std::move(pkt.token)); break;
+    case MsgKind::Join: handle_join(pkt.join); break;
+    case MsgKind::Commit: handle_commit(std::move(pkt.commit)); break;
+    case MsgKind::RingAnnounce: handle_announce(pkt.announce); break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+void Node::store_data(const DataMsg& d) {
+  RingState* rs = nullptr;
+  if (d.ring == cur_.id && cur_.id.valid()) {
+    rs = &cur_;
+  } else if (old_ && d.ring == old_->id) {
+    rs = &*old_;
+  } else {
+    return;  // foreign or obsolete ring
+  }
+  if (d.seq <= rs->delivered || rs->received.count(d.seq)) return;  // dup
+  rs->received.emplace(d.seq, d);
+  rs->high = std::max(rs->high, d.seq);
+  while (rs->received.count(rs->my_aru + 1)) ++rs->my_aru;
+}
+
+void Node::handle_data(const DataMsg& d) {
+  const bool on_current =
+      cur_.id.valid() && d.ring == cur_.id &&
+      (state_ == State::Operational || state_ == State::Recovery);
+  store_data(d);
+  if (!on_current) return;
+  // Traffic on my ring is evidence the token survived its last hop.
+  if (last_sent_token_ && d.seq > last_sent_token_->seq) {
+    token_retransmit_timer_.cancel();
+  }
+  if (token_loss_timer_.active()) {
+    token_loss_timer_.cancel();
+    arm_token_loss();
+  }
+  try_deliver();
+}
+
+void Node::try_deliver() {
+  const std::uint64_t limit =
+      params_.safe_delivery ? std::min(cur_.my_aru, cur_.safe) : cur_.my_aru;
+  while (cur_.delivered < limit) {
+    auto it = cur_.received.find(cur_.delivered + 1);
+    if (it == cur_.received.end()) break;  // should not happen below aru
+    ++cur_.delivered;
+    dispatch(it->second, /*transitional=*/false);
+    if (state_ == State::Down) return;  // a handler halted us
+  }
+}
+
+void Node::dispatch(const DataMsg& d, bool transitional) {
+  if (d.flags & kFlagRecovery) {
+    // A re-broadcast message from an earlier configuration: unwrap and file
+    // it under that configuration so the flush can deliver it in old order.
+    DataMsg inner = decode_data_payload(d.payload);
+    store_data(inner);
+    return;
+  }
+  if (d.group == kRecoveryDoneGroup) {
+    if (d.ring != cur_.id) return;  // stale marker from a flushed ring
+    recovery_done_from_.insert(d.origin);
+    if (state_ == State::Recovery) {
+      bool all = true;
+      for (NodeId m : cur_.members) {
+        if (!recovery_done_from_.count(m)) { all = false; break; }
+      }
+      if (all) complete_recovery();
+    }
+    return;
+  }
+  ++stats_.delivered;
+  if (deliver_) {
+    Delivered ev;
+    ev.ring = d.ring;
+    ev.seq = d.seq;
+    ev.origin = d.origin;
+    ev.control = (d.flags & kFlagControl) != 0;
+    ev.transitional = transitional;
+    ev.group = d.group;
+    ev.payload = d.payload;
+    deliver_(ev);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token path
+// ---------------------------------------------------------------------------
+
+sim::Time Node::token_loss_timeout() const {
+  return params_.token_loss +
+         params_.token_loss_per_member * cur_.members.size();
+}
+
+void Node::arm_token_loss() {
+  token_loss_timer_ = sim_.after(token_loss_timeout(), [this] {
+    if (state_ != State::Operational && state_ != State::Recovery) return;
+    ++stats_.token_losses;
+    ETERNAL_DEBUG("totem", "node ", id_, " token loss on ring ",
+                  cur_.id.str());
+    enter_gather();
+  });
+}
+
+void Node::cancel_token_timers() {
+  token_loss_timer_.cancel();
+  token_retransmit_timer_.cancel();
+  token_hold_timer_.cancel();
+}
+
+void Node::handle_token(TokenMsg t) {
+  if (state_ != State::Operational && state_ != State::Recovery) return;
+  if (!(t.ring == cur_.id) || t.dest != id_) return;
+  if (t.token_id <= last_token_id_) return;  // duplicate/stale token
+  last_token_id_ = t.token_id;
+  ++stats_.token_visits;
+  token_loss_timer_.cancel();
+  token_retransmit_timer_.cancel();
+
+  // Rotation boundary: the lowest-id member publishes the minimum aru of the
+  // rotation that just completed as the new safe point.
+  if (!cur_.members.empty() && id_ == cur_.members.front()) {
+    if (t.accum_min != kNoAru) {
+      t.safe_seq = std::max(t.safe_seq, t.accum_min);
+    }
+    t.accum_min = kNoAru;
+  }
+
+  // Service retransmission requests we can satisfy.
+  std::vector<std::uint64_t> still_missing;
+  for (std::uint64_t s : t.retransmit) {
+    auto it = cur_.received.find(s);
+    if (it != cur_.received.end()) {
+      Packet pkt;
+      pkt.kind = MsgKind::Data;
+      pkt.data = it->second;
+      multicast(pkt);
+      ++stats_.retransmissions;
+    } else {
+      still_missing.push_back(s);
+    }
+  }
+
+  // Broadcast pending messages, recovery rebroadcasts first.
+  std::uint32_t budget = params_.window;
+  auto send_from = [&](std::deque<DataMsg>& queue) {
+    while (budget > 0 && !queue.empty()) {
+      DataMsg d = std::move(queue.front());
+      queue.pop_front();
+      d.ring = cur_.id;
+      d.seq = ++t.seq;
+      Packet pkt;
+      pkt.kind = MsgKind::Data;
+      pkt.data = d;
+      multicast(pkt);
+      ++stats_.broadcasts;
+      --budget;
+      store_data(d);  // self-delivery
+    }
+  };
+  send_from(recovery_pending_);
+  if (state_ == State::Operational) {
+    send_from(pending_);
+  }
+
+  // Request what we are missing below the highest assigned seq.
+  for (std::uint64_t s = cur_.my_aru + 1;
+       s <= t.seq && still_missing.size() < params_.max_retransmit_entries;
+       ++s) {
+    if (!cur_.received.count(s) &&
+        std::find(still_missing.begin(), still_missing.end(), s) ==
+            still_missing.end()) {
+      still_missing.push_back(s);
+    }
+  }
+  t.retransmit = std::move(still_missing);
+
+  t.accum_min = std::min(t.accum_min, cur_.my_aru);
+  cur_.safe = std::max(cur_.safe, t.safe_seq);
+
+  try_deliver();
+  if (state_ == State::Down) return;
+
+  // Garbage-collect messages that are both delivered locally and stable at
+  // every member; nobody can request them again and no recovery needs them.
+  const std::uint64_t gc = std::min(cur_.safe, cur_.delivered);
+  while (!cur_.received.empty() && cur_.received.begin()->first <= gc) {
+    cur_.received.erase(cur_.received.begin());
+  }
+
+  forward_token(std::move(t));
+}
+
+void Node::forward_token(TokenMsg t) {
+  t.dest = next_member(cur_.members, id_);
+  t.token_id += 1;
+  token_hold_timer_ = sim_.after(params_.token_hold, [this, t] {
+    if (state_ != State::Operational && state_ != State::Recovery) return;
+    if (!(t.ring == cur_.id)) return;
+    Packet pkt;
+    pkt.kind = MsgKind::Token;
+    pkt.token = t;
+    unicast(t.dest, pkt);
+    last_sent_token_ = t;
+    // Retransmit the token if we see no evidence the next member got it.
+    auto resend = std::make_shared<std::function<void()>>();
+    *resend = [this, t, resend] {
+      if (state_ != State::Operational && state_ != State::Recovery) return;
+      if (!last_sent_token_ || !(t.ring == cur_.id)) return;
+      if (last_sent_token_->token_id != t.token_id) return;
+      Packet again;
+      again.kind = MsgKind::Token;
+      again.token = t;
+      unicast(t.dest, again);
+      token_retransmit_timer_ = sim_.after(params_.token_retransmit, *resend);
+    };
+    token_retransmit_timer_ = sim_.after(params_.token_retransmit, *resend);
+    arm_token_loss();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Membership: gather / consensus / commit / recovery
+// ---------------------------------------------------------------------------
+
+void Node::enter_gather() {
+  if (state_ == State::Down) return;
+  cancel_token_timers();
+  commit_timer_.cancel();
+  join_timer_.cancel();
+  consensus_timer_.cancel();
+
+  if (cur_.id.valid()) {
+    max_epoch_seen_ = std::max(max_epoch_seen_, cur_.id.epoch);
+    if (!old_) {
+      old_ = std::move(cur_);
+    }
+    cur_ = RingState{};
+  }
+  state_ = State::Gather;
+  last_token_id_ = 0;
+  last_sent_token_.reset();
+  recovery_done_from_.clear();
+  commit_pass2_seen_ = false;
+
+  candidates_ = {id_};
+  candidates_stable_since_ = sim_.now();
+  send_join();
+
+  auto join_tick = std::make_shared<std::function<void()>>();
+  *join_tick = [this, join_tick] {
+    if (state_ != State::Gather) return;
+    send_join();
+    join_timer_ = sim_.after(params_.join_interval, *join_tick);
+  };
+  join_timer_ = sim_.after(params_.join_interval, *join_tick);
+
+  auto consensus_tick = std::make_shared<std::function<void()>>();
+  *consensus_tick = [this, consensus_tick] {
+    if (state_ != State::Gather) return;
+    try_consensus();
+    if (state_ != State::Gather) return;
+    consensus_timer_ = sim_.after(params_.join_interval, *consensus_tick);
+  };
+  consensus_timer_ = sim_.after(params_.join_interval, *consensus_tick);
+}
+
+void Node::send_join() {
+  Packet pkt;
+  pkt.kind = MsgKind::Join;
+  pkt.join = JoinMsg{id_, candidates_, max_epoch_seen_};
+  multicast(pkt);
+}
+
+void Node::recompute_candidates() {
+  // Any processor whose Join we heard recently is a candidate; mutual
+  // acknowledgment is enforced by the consensus condition (everyone's last
+  // Join must list exactly the same candidate set), not here.
+  std::vector<NodeId> fresh{id_};
+  for (const auto& [node, rec] : last_join_) {
+    if (node == id_) continue;
+    if (sim_.now() - rec.when > params_.join_freshness) continue;
+    fresh.push_back(node);
+  }
+  std::sort(fresh.begin(), fresh.end());
+  if (fresh != candidates_) {
+    candidates_ = std::move(fresh);
+    candidates_stable_since_ = sim_.now();
+    send_join();  // accelerate convergence
+  }
+}
+
+void Node::handle_join(const JoinMsg& j) {
+  last_join_[j.sender] = JoinRecord{sim_.now(), j.candidates, j.max_epoch};
+  max_epoch_seen_ = std::max(max_epoch_seen_, j.max_epoch);
+  switch (state_) {
+    case State::Down:
+      return;
+    case State::Gather:
+      recompute_candidates();
+      return;
+    case State::Operational:
+      // Someone wants a membership change (new node, foreign ring, or a
+      // member that lost the token). Join the gathering.
+      enter_gather();
+      return;
+    case State::Commit:
+    case State::Recovery:
+      // Stragglers from the gathering we just left are expected; an
+      // outsider means the membership is already stale.
+      if (std::find(cur_.members.begin(), cur_.members.end(), j.sender) ==
+              cur_.members.end() &&
+          std::find(candidates_.begin(), candidates_.end(), j.sender) ==
+              candidates_.end()) {
+        enter_gather();
+      }
+      return;
+  }
+}
+
+void Node::try_consensus() {
+  if (state_ != State::Gather) return;
+  recompute_candidates();
+  if (sim_.now() - candidates_stable_since_ < params_.consensus_timeout) {
+    return;
+  }
+  for (NodeId p : candidates_) {
+    if (p == id_) continue;
+    auto it = last_join_.find(p);
+    if (it == last_join_.end() || it->second.candidates != candidates_) {
+      return;
+    }
+  }
+  // Consensus reached: stop gathering; lowest id drives the commit.
+  join_timer_.cancel();
+  consensus_timer_.cancel();
+  state_ = State::Commit;
+  commit_timer_.cancel();
+  commit_timer_ = sim_.after(params_.commit_timeout, [this] {
+    if (state_ == State::Commit) enter_gather();
+  });
+  if (id_ == candidates_.front()) {
+    build_and_send_commit();
+  }
+}
+
+void Node::build_and_send_commit() {
+  CommitMsg c;
+  c.ring = RingId{max_epoch_seen_ + 1, id_};
+  c.members = candidates_;
+  c.pass = 1;
+  c.infos.resize(c.members.size());
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    c.infos[i].member = c.members[i];
+  }
+  max_epoch_seen_ = c.ring.epoch;
+  fill_commit_info(c);
+  if (c.members.size() == 1) {
+    c.pass = 2;
+    commit_timer_.cancel();
+    enter_recovery(c);
+    commit_pass2_seen_ = true;
+    start_first_token();
+    return;
+  }
+  c.dest = next_member(c.members, id_);
+  Packet pkt;
+  pkt.kind = MsgKind::Commit;
+  pkt.commit = c;
+  unicast(c.dest, pkt);
+}
+
+void Node::fill_commit_info(CommitMsg& c) {
+  for (auto& info : c.infos) {
+    if (info.member != id_) continue;
+    if (old_) {
+      info.has_old_ring = true;
+      info.old_ring = old_->id;
+      info.old_aru = old_->my_aru;
+      info.old_high = old_->high;
+    }
+    return;
+  }
+}
+
+void Node::handle_commit(CommitMsg c) {
+  if (state_ == State::Down) return;
+  if (c.dest != id_) return;
+  if (std::find(c.members.begin(), c.members.end(), id_) == c.members.end()) {
+    return;
+  }
+  max_epoch_seen_ = std::max(max_epoch_seen_, c.ring.epoch);
+
+  if (c.pass == 1) {
+    if (state_ != State::Gather && state_ != State::Commit) return;
+    fill_commit_info(c);
+    if (id_ == c.ring.leader) {
+      // Pass 1 completed the loop: every member's old-ring info collected.
+      c.pass = 2;
+      enter_recovery(c);
+      commit_pass2_seen_ = true;
+      c.dest = next_member(c.members, id_);
+      Packet pkt;
+      pkt.kind = MsgKind::Commit;
+      pkt.commit = c;
+      unicast(c.dest, pkt);
+      commit_timer_.cancel();
+      commit_timer_ = sim_.after(params_.commit_timeout, [this] {
+        if (state_ == State::Recovery && last_token_id_ == 0) enter_gather();
+      });
+    } else {
+      join_timer_.cancel();
+      consensus_timer_.cancel();
+      state_ = State::Commit;
+      candidates_ = c.members;  // accept the leader's membership
+      commit_timer_.cancel();
+      commit_timer_ = sim_.after(params_.commit_timeout, [this] {
+        if (state_ == State::Commit) enter_gather();
+      });
+      c.dest = next_member(c.members, id_);
+      Packet pkt;
+      pkt.kind = MsgKind::Commit;
+      pkt.commit = c;
+      unicast(c.dest, pkt);
+    }
+    return;
+  }
+
+  // pass == 2
+  if (id_ == c.ring.leader) {
+    if (state_ == State::Recovery && commit_pass2_seen_ &&
+        last_token_id_ == 0) {
+      commit_timer_.cancel();
+      start_first_token();
+    }
+    return;
+  }
+  if (state_ != State::Commit) return;
+  commit_timer_.cancel();
+  enter_recovery(c);
+  c.dest = next_member(c.members, id_);
+  Packet pkt;
+  pkt.kind = MsgKind::Commit;
+  pkt.commit = std::move(c);
+  unicast(pkt.commit.dest, pkt);
+}
+
+void Node::enter_recovery(const CommitMsg& commit) {
+  cur_ = RingState{};
+  cur_.id = commit.ring;
+  cur_.members = commit.members;
+  state_ = State::Recovery;
+  last_token_id_ = 0;
+  last_sent_token_.reset();
+  recovery_done_from_.clear();
+  recovery_pending_.clear();
+
+  if (old_) {
+    // Members of my old ring that made it into the new ring must end up
+    // with identical old-ring message sets: rebroadcast everything in
+    // (low, high] that I hold; receivers deduplicate.
+    std::uint64_t low = kNoAru;
+    std::uint64_t high = 0;
+    for (const auto& info : commit.infos) {
+      if (!info.has_old_ring || !(info.old_ring == old_->id)) continue;
+      low = std::min(low, info.old_aru);
+      high = std::max(high, info.old_high);
+    }
+    if (low != kNoAru) {
+      for (const auto& [seq, msg] : old_->received) {
+        if (seq <= low || seq > high) continue;
+        DataMsg wrap;
+        wrap.origin = id_;
+        wrap.flags = kFlagRecovery;
+        wrap.group = "";
+        wrap.payload = encode_data(msg);
+        wrap.old_ring = old_->id;
+        wrap.old_seq = seq;
+        recovery_pending_.push_back(std::move(wrap));
+      }
+    }
+  }
+  // End-of-recovery marker: once every member's marker is delivered, all
+  // recovery rebroadcasts (sent before the markers) are delivered too.
+  DataMsg done;
+  done.origin = id_;
+  done.flags = kFlagControl;
+  done.group = kRecoveryDoneGroup;
+  recovery_pending_.push_back(std::move(done));
+
+  arm_token_loss();
+}
+
+void Node::start_first_token() {
+  TokenMsg t;
+  t.ring = cur_.id;
+  t.token_id = 1;
+  t.seq = 0;
+  t.accum_min = kNoAru;
+  t.safe_seq = 0;
+  t.dest = id_;
+  handle_token(std::move(t));
+}
+
+void Node::complete_recovery() {
+  std::vector<NodeId> trans_members{id_};
+  if (old_) {
+    trans_members = intersect(cur_.members, old_->members);
+    flush_old_ring();
+    old_.reset();
+  }
+  commit_timer_.cancel();
+  state_ = State::Operational;
+  ++stats_.views_installed;
+  if (view_) {
+    view_(ViewEvent{ViewEvent::Kind::Transitional, cur_.id, trans_members});
+    view_(ViewEvent{ViewEvent::Kind::Regular, cur_.id, cur_.members});
+  }
+}
+
+void Node::flush_old_ring() {
+  // Deliver the remaining old-ring messages in the old total order. A gap
+  // means the only holders of a message are outside the merged component;
+  // everything past the first gap is delivered in the transitional
+  // configuration, per extended virtual synchrony.
+  bool gap = false;
+  for (std::uint64_t seq = old_->delivered + 1; seq <= old_->high; ++seq) {
+    auto it = old_->received.find(seq);
+    if (it == old_->received.end()) {
+      gap = true;
+      continue;
+    }
+    dispatch(it->second, /*transitional=*/gap || params_.safe_delivery);
+  }
+  old_->delivered = old_->high;
+}
+
+void Node::handle_announce(const RingAnnounceMsg& a) {
+  if (state_ != State::Operational) return;
+  const bool member =
+      std::find(cur_.members.begin(), cur_.members.end(), a.sender) !=
+      cur_.members.end();
+  if (member) {
+    if (a.ring == cur_.id) return;  // healthy: same ring as mine
+    // A ring-mate operating on an *older* ring is a stale in-flight
+    // announce; ignore it. (If that member is genuinely stuck on the old
+    // ring it will eventually gather and its Join pulls us in.) A *newer*
+    // or conflicting ring means my membership is stale: re-gather.
+    if (a.ring.epoch < cur_.id.epoch) return;
+  }
+  // A foreign or conflicting ring is reachable: the network has remerged
+  // (or a new node appeared). Re-gather to form a joint ring.
+  ETERNAL_DEBUG("totem", "node ", id_, " sees foreign ring ", a.ring.str(),
+                " from ", a.sender);
+  enter_gather();
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+NodeId Node::next_member(const std::vector<NodeId>& members,
+                         NodeId after) const {
+  auto it = std::find(members.begin(), members.end(), after);
+  if (it == members.end() || ++it == members.end()) return members.front();
+  return *it;
+}
+
+void Node::multicast(const Packet& pkt) {
+  net_.multicast(id_, encode(pkt));
+}
+
+void Node::unicast(NodeId to, const Packet& pkt) {
+  if (to == id_) {
+    // The network never loops multicasts back; unicast-to-self is used by
+    // single-member rings to keep the token machinery uniform.
+    sim_.after(net_.params().base_latency, [this, wire = encode(pkt)] {
+      if (state_ != State::Down) on_receive(id_, wire);
+    });
+    return;
+  }
+  net_.unicast(id_, to, encode(pkt));
+}
+
+}  // namespace eternal::totem

@@ -1,0 +1,231 @@
+// Totem-style single-ring total-order protocol node.
+//
+// One Node runs per processor. The protocol follows the published Totem
+// single-ring design in structure:
+//
+//  * While **Operational**, a token circulates around the ring. Only the
+//    token holder broadcasts; it assigns global sequence numbers from the
+//    token, services retransmission requests carried on the token, and
+//    advances the token's running-minimum aru. The minimum over a full
+//    rotation becomes the *safe* sequence: everything at or below it is
+//    known to be received by every member.
+//  * Token loss (crash, partition, or message loss beyond retransmission)
+//    triggers the **Gather** state: processors broadcast Join messages with
+//    their candidate sets until the sets are mutually consistent, then the
+//    lowest-id candidate circulates a two-pass **Commit** token that
+//    installs the new ring.
+//  * The **Recovery** state implements extended virtual synchrony: members
+//    re-broadcast messages from their old ring that other old-ring members
+//    may lack, then deliver the remaining old-ring messages in the old
+//    order, a *transitional configuration* view, and finally the *regular
+//    configuration* view of the new ring. Messages after a gap that cannot
+//    be recovered (their only holders are gone) are delivered flagged as
+//    transitional.
+//  * Partitioned components each form their own ring and keep operating;
+//    periodic RingAnnounce probes detect remerged connectivity and trigger
+//    a joint Gather.
+//
+// Delivery guarantee is selectable per the Params::safe_delivery ablation:
+// *agreed* (deliver once the local order is gapless — what the FT
+// infrastructure uses on the fast path) or *safe* (deliver once every ring
+// member is known to have the message).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+#include "totem/wire.hpp"
+
+namespace eternal::totem {
+
+struct Params {
+  sim::Time token_hold = 10;                        // us the holder keeps it
+  sim::Time token_loss = 15 * sim::kMillisecond;    // base failure timeout
+  sim::Time token_loss_per_member = sim::kMillisecond;
+  sim::Time token_retransmit = 5 * sim::kMillisecond;
+  sim::Time join_interval = 3 * sim::kMillisecond;
+  sim::Time join_freshness = 9 * sim::kMillisecond; // ignore older joins
+  sim::Time consensus_timeout = 8 * sim::kMillisecond;
+  sim::Time commit_timeout = 40 * sim::kMillisecond;
+  sim::Time announce_interval = 50 * sim::kMillisecond;
+  std::uint32_t window = 64;       // max broadcasts per token visit
+  std::uint32_t max_retransmit_entries = 512;
+  bool safe_delivery = false;      // ablation: safe instead of agreed
+};
+
+/// A message handed up to the layer above, in total order.
+struct Delivered {
+  RingId ring;
+  std::uint64_t seq = 0;
+  NodeId origin = 0;
+  bool control = false;       // group-layer control traffic
+  bool transitional = false;  // delivered in a transitional configuration
+  std::string group;
+  Bytes payload;
+};
+
+struct ViewEvent {
+  enum class Kind { Transitional, Regular };
+  Kind kind = Kind::Regular;
+  RingId ring;
+  std::vector<NodeId> members;  // sorted
+};
+
+struct NodeStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t token_visits = 0;
+  std::uint64_t token_losses = 0;
+  std::uint64_t views_installed = 0;
+};
+
+class Node {
+ public:
+  using DeliverFn = std::function<void(const Delivered&)>;
+  using ViewFn = std::function<void(const ViewEvent&)>;
+
+  Node(sim::Simulation& sim, sim::Network& net, NodeId id, Params params);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  const Params& params() const noexcept { return params_; }
+
+  /// Delivery of ordered messages (application and control).
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  /// Configuration (view) changes, in the extended-virtual-synchrony order.
+  void set_view(ViewFn fn) { view_ = std::move(fn); }
+
+  /// Begin protocol execution (enters Gather to find or form a ring).
+  void start();
+  /// Crash: stop all activity and discard protocol state.
+  void halt();
+  /// Restart after a crash with a clean slate (replica state is re-acquired
+  /// by the replication layer's state transfer, not by Totem).
+  void restart();
+
+  /// Queue a payload for totally-ordered broadcast to the given group tag.
+  /// Sent when this node next holds the token; queued across view changes.
+  void broadcast(std::string group, Bytes payload, bool control = false);
+
+  bool running() const noexcept { return state_ != State::Down; }
+  bool operational() const noexcept { return state_ == State::Operational; }
+  RingId ring_id() const noexcept { return cur_.id; }
+  const std::vector<NodeId>& members() const noexcept { return cur_.members; }
+  const NodeStats& stats() const noexcept { return stats_; }
+  std::size_t backlog() const noexcept {
+    return pending_.size() + recovery_pending_.size();
+  }
+
+  /// Entry point wired to the network handler.
+  void on_receive(NodeId from, const Bytes& wire);
+
+ private:
+  enum class State { Down, Gather, Commit, Recovery, Operational };
+
+  struct RingState {
+    RingId id;
+    std::vector<NodeId> members;
+    std::map<std::uint64_t, DataMsg> received;
+    std::uint64_t my_aru = 0;     // contiguously received through
+    std::uint64_t delivered = 0;  // delivered to the app through
+    std::uint64_t safe = 0;       // stable at all members through
+    std::uint64_t high = 0;       // highest seq seen
+  };
+
+  struct JoinRecord {
+    sim::Time when = 0;
+    std::vector<NodeId> candidates;
+    std::uint64_t max_epoch = 0;
+  };
+
+  // --- message handlers ---
+  void handle_data(const DataMsg& d);
+  void handle_token(TokenMsg t);
+  void handle_join(const JoinMsg& j);
+  void handle_commit(CommitMsg c);
+  void handle_announce(const RingAnnounceMsg& a);
+
+  // --- state transitions ---
+  void enter_gather();
+  void try_consensus();
+  void build_and_send_commit();
+  void fill_commit_info(CommitMsg& c);
+  void enter_recovery(const CommitMsg& commit);
+  void start_first_token();
+  void complete_recovery();
+
+  // --- token machinery ---
+  void forward_token(TokenMsg t);
+  void arm_token_loss();
+  void cancel_token_timers();
+  sim::Time token_loss_timeout() const;
+
+  // --- delivery ---
+  void store_data(const DataMsg& d);
+  void try_deliver();
+  void dispatch(const DataMsg& d, bool transitional);
+  void flush_old_ring();
+
+  // --- helpers ---
+  void send_join();
+  void recompute_candidates();
+  NodeId next_member(const std::vector<NodeId>& members, NodeId after) const;
+  void multicast(const Packet& pkt);
+  void unicast(NodeId to, const Packet& pkt);
+
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  const NodeId id_;
+  Params params_;
+
+  State state_ = State::Down;
+  RingState cur_;
+  std::optional<RingState> old_;  // awaiting recovery flush
+  std::uint64_t max_epoch_seen_ = 0;
+
+  // Outbound queues. Recovery rebroadcasts drain before fresh payloads.
+  std::deque<DataMsg> pending_;
+  std::deque<DataMsg> recovery_pending_;
+
+  // Token state.
+  std::uint64_t last_token_id_ = 0;
+  std::optional<TokenMsg> last_sent_token_;
+  sim::TimerHandle token_loss_timer_;
+  sim::TimerHandle token_retransmit_timer_;
+  sim::TimerHandle token_hold_timer_;
+
+  // Gather state.
+  std::map<NodeId, JoinRecord> last_join_;
+  std::vector<NodeId> candidates_;
+  sim::Time candidates_stable_since_ = 0;
+  sim::TimerHandle join_timer_;
+  sim::TimerHandle consensus_timer_;
+  sim::TimerHandle commit_timer_;
+
+  // Recovery state.
+  std::set<NodeId> recovery_done_from_;
+  bool commit_pass2_seen_ = false;
+
+  sim::TimerHandle announce_timer_;
+
+  DeliverFn deliver_;
+  ViewFn view_;
+  NodeStats stats_;
+};
+
+/// Group tag Node uses internally to mark end-of-recovery control messages.
+inline constexpr const char* kRecoveryDoneGroup = "__totem.recovery_done";
+
+}  // namespace eternal::totem

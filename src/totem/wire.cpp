@@ -1,0 +1,204 @@
+#include "totem/wire.hpp"
+
+namespace eternal::totem {
+
+namespace {
+
+void put_ring(cdr::Encoder& enc, const RingId& r) {
+  enc.put_ulonglong(r.epoch);
+  enc.put_ulong(r.leader);
+}
+
+RingId get_ring(cdr::Decoder& dec) {
+  RingId r;
+  r.epoch = dec.get_ulonglong();
+  r.leader = dec.get_ulong();
+  return r;
+}
+
+void put_nodes(cdr::Encoder& enc, const std::vector<NodeId>& nodes) {
+  enc.put_ulong(static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId n : nodes) enc.put_ulong(n);
+}
+
+std::vector<NodeId> get_nodes(cdr::Decoder& dec) {
+  const std::uint32_t n = dec.get_ulong();
+  if (n > 65536) throw cdr::MarshalError("implausible node list");
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) nodes.push_back(dec.get_ulong());
+  return nodes;
+}
+
+void put_seqs(cdr::Encoder& enc, const std::vector<std::uint64_t>& seqs) {
+  enc.put_ulong(static_cast<std::uint32_t>(seqs.size()));
+  for (auto s : seqs) enc.put_ulonglong(s);
+}
+
+std::vector<std::uint64_t> get_seqs(cdr::Decoder& dec) {
+  const std::uint32_t n = dec.get_ulong();
+  if (n > 1 << 20) throw cdr::MarshalError("implausible seq list");
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) seqs.push_back(dec.get_ulonglong());
+  return seqs;
+}
+
+void encode_data_into(cdr::Encoder& enc, const DataMsg& d) {
+  put_ring(enc, d.ring);
+  enc.put_ulonglong(d.seq);
+  enc.put_ulong(d.origin);
+  enc.put_octet(d.flags);
+  enc.put_string(std::string("g") + d.group);  // never empty on the wire
+  enc.put_octet_seq(d.payload);
+  if (d.flags & kFlagRecovery) {
+    put_ring(enc, d.old_ring);
+    enc.put_ulonglong(d.old_seq);
+  }
+}
+
+DataMsg decode_data_from(cdr::Decoder& dec) {
+  DataMsg d;
+  d.ring = get_ring(dec);
+  d.seq = dec.get_ulonglong();
+  d.origin = dec.get_ulong();
+  d.flags = dec.get_octet();
+  std::string g = dec.get_string();
+  if (g.empty() || g[0] != 'g') throw cdr::MarshalError("bad group tag");
+  d.group = g.substr(1);
+  d.payload = dec.get_octet_seq();
+  if (d.flags & kFlagRecovery) {
+    d.old_ring = get_ring(dec);
+    d.old_seq = dec.get_ulonglong();
+  }
+  return d;
+}
+
+}  // namespace
+
+Bytes encode_data(const DataMsg& d) {
+  cdr::Encoder enc;
+  encode_data_into(enc, d);
+  return enc.take();
+}
+
+DataMsg decode_data_payload(const Bytes& wire) {
+  cdr::Decoder dec(wire);
+  return decode_data_from(dec);
+}
+
+Bytes encode(const Packet& pkt) {
+  cdr::Encoder enc;
+  enc.put_octet(static_cast<std::uint8_t>(pkt.kind));
+  switch (pkt.kind) {
+    case MsgKind::Data:
+      encode_data_into(enc, pkt.data);
+      break;
+    case MsgKind::Token: {
+      const TokenMsg& t = pkt.token;
+      put_ring(enc, t.ring);
+      enc.put_ulonglong(t.token_id);
+      enc.put_ulonglong(t.seq);
+      enc.put_ulonglong(t.accum_min);
+      enc.put_ulonglong(t.safe_seq);
+      put_seqs(enc, t.retransmit);
+      enc.put_ulong(t.dest);
+      break;
+    }
+    case MsgKind::Join: {
+      const JoinMsg& j = pkt.join;
+      enc.put_ulong(j.sender);
+      put_nodes(enc, j.candidates);
+      enc.put_ulonglong(j.max_epoch);
+      break;
+    }
+    case MsgKind::Commit: {
+      const CommitMsg& c = pkt.commit;
+      put_ring(enc, c.ring);
+      put_nodes(enc, c.members);
+      enc.put_octet(c.pass);
+      enc.put_ulong(static_cast<std::uint32_t>(c.infos.size()));
+      for (const auto& info : c.infos) {
+        enc.put_ulong(info.member);
+        enc.put_boolean(info.has_old_ring);
+        put_ring(enc, info.old_ring);
+        enc.put_ulonglong(info.old_aru);
+        enc.put_ulonglong(info.old_high);
+      }
+      enc.put_ulong(c.dest);
+      break;
+    }
+    case MsgKind::RingAnnounce: {
+      const RingAnnounceMsg& a = pkt.announce;
+      enc.put_ulong(a.sender);
+      put_ring(enc, a.ring);
+      put_nodes(enc, a.members);
+      break;
+    }
+  }
+  return enc.take();
+}
+
+Packet decode_packet(const Bytes& wire) {
+  cdr::Decoder dec(wire);
+  Packet pkt;
+  const std::uint8_t kind = dec.get_octet();
+  if (kind < 1 || kind > 5) throw cdr::MarshalError("bad totem msg kind");
+  pkt.kind = static_cast<MsgKind>(kind);
+  switch (pkt.kind) {
+    case MsgKind::Data:
+      pkt.data = decode_data_from(dec);
+      break;
+    case MsgKind::Token: {
+      TokenMsg t;
+      t.ring = get_ring(dec);
+      t.token_id = dec.get_ulonglong();
+      t.seq = dec.get_ulonglong();
+      t.accum_min = dec.get_ulonglong();
+      t.safe_seq = dec.get_ulonglong();
+      t.retransmit = get_seqs(dec);
+      t.dest = dec.get_ulong();
+      pkt.token = std::move(t);
+      break;
+    }
+    case MsgKind::Join: {
+      JoinMsg j;
+      j.sender = dec.get_ulong();
+      j.candidates = get_nodes(dec);
+      j.max_epoch = dec.get_ulonglong();
+      pkt.join = std::move(j);
+      break;
+    }
+    case MsgKind::Commit: {
+      CommitMsg c;
+      c.ring = get_ring(dec);
+      c.members = get_nodes(dec);
+      c.pass = dec.get_octet();
+      const std::uint32_t n = dec.get_ulong();
+      if (n > 65536) throw cdr::MarshalError("implausible commit infos");
+      for (std::uint32_t i = 0; i < n; ++i) {
+        CommitInfo info;
+        info.member = dec.get_ulong();
+        info.has_old_ring = dec.get_boolean();
+        info.old_ring = get_ring(dec);
+        info.old_aru = dec.get_ulonglong();
+        info.old_high = dec.get_ulonglong();
+        c.infos.push_back(info);
+      }
+      c.dest = dec.get_ulong();
+      pkt.commit = std::move(c);
+      break;
+    }
+    case MsgKind::RingAnnounce: {
+      RingAnnounceMsg a;
+      a.sender = dec.get_ulong();
+      a.ring = get_ring(dec);
+      a.members = get_nodes(dec);
+      pkt.announce = std::move(a);
+      break;
+    }
+  }
+  return pkt;
+}
+
+}  // namespace eternal::totem

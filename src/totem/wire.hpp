@@ -1,0 +1,130 @@
+// Wire format of the Totem-style single-ring protocol.
+//
+// Five message kinds circulate on the simulated LAN:
+//   Data         — a sequenced broadcast (application payload or control)
+//   Token        — the circulating ring token (unicast to the next member)
+//   Join         — membership gathering (broadcast while forming a ring)
+//   Commit       — the two-pass commit token that installs a new ring
+//   RingAnnounce — a periodic probe that lets partitioned rings detect
+//                  each other after the network remerges
+//
+// Everything is CDR-encoded so the same marshaling machinery underpins the
+// whole stack.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdr/cdr.hpp"
+#include "sim/network.hpp"
+
+namespace eternal::totem {
+
+using sim::NodeId;
+using cdr::Bytes;
+
+/// Identifies one ring configuration. epoch increases across every
+/// membership change anywhere in the system (carried through joins), so a
+/// ring id never repeats and orders configurations causally.
+struct RingId {
+  std::uint64_t epoch = 0;
+  NodeId leader = 0;
+
+  auto operator<=>(const RingId&) const = default;
+  bool valid() const noexcept { return epoch != 0; }
+  std::string str() const {
+    return std::to_string(epoch) + "@" + std::to_string(leader);
+  }
+};
+
+enum class MsgKind : std::uint8_t {
+  Data = 1,
+  Token = 2,
+  Join = 3,
+  Commit = 4,
+  RingAnnounce = 5,
+};
+
+/// Flags on Data messages.
+enum DataFlags : std::uint8_t {
+  kFlagControl = 1,   // consumed by the group layer, not the application
+  kFlagRecovery = 2,  // encapsulates a Data message from an earlier ring
+};
+
+struct DataMsg {
+  RingId ring;
+  std::uint64_t seq = 0;  // position in the ring's total order
+  NodeId origin = 0;
+  std::uint8_t flags = 0;
+  std::string group;  // destination process/object group ("" for ring ctrl)
+  Bytes payload;
+
+  // Set when flags & kFlagRecovery: the configuration the inner message was
+  // originally ordered in, and its sequence number there.
+  RingId old_ring;
+  std::uint64_t old_seq = 0;
+};
+
+struct TokenMsg {
+  RingId ring;
+  std::uint64_t token_id = 0;  // strictly increasing; dedups retransmits
+  std::uint64_t seq = 0;       // highest Data seq assigned on this ring
+  /// Running minimum of member arus over the current rotation.
+  std::uint64_t accum_min = 0;
+  /// Minimum aru over the previous complete rotation: messages with
+  /// seq <= safe_seq are stable at every member (safe delivery point).
+  std::uint64_t safe_seq = 0;
+  std::vector<std::uint64_t> retransmit;  // seqs some member is missing
+  NodeId dest = 0;                        // next member on the ring
+};
+
+struct JoinMsg {
+  NodeId sender = 0;
+  std::vector<NodeId> candidates;  // sorted set of processors sender gathers
+  std::uint64_t max_epoch = 0;     // highest ring epoch sender has seen
+};
+
+/// Per-member old-ring summary carried on the commit token so every member
+/// of the new ring can plan message recovery.
+struct CommitInfo {
+  NodeId member = 0;
+  bool has_old_ring = false;
+  RingId old_ring;
+  std::uint64_t old_aru = 0;   // contiguously received up to
+  std::uint64_t old_high = 0;  // highest seq held (possibly with gaps)
+};
+
+struct CommitMsg {
+  RingId ring;                   // the new ring being installed
+  std::vector<NodeId> members;   // sorted ascending
+  std::uint8_t pass = 1;         // 1 = collect, 2 = install
+  std::vector<CommitInfo> infos; // aligned with members, filled on pass 1
+  NodeId dest = 0;
+};
+
+struct RingAnnounceMsg {
+  NodeId sender = 0;
+  RingId ring;
+  std::vector<NodeId> members;
+};
+
+/// Tagged union of every protocol message.
+struct Packet {
+  MsgKind kind = MsgKind::Data;
+  DataMsg data;
+  TokenMsg token;
+  JoinMsg join;
+  CommitMsg commit;
+  RingAnnounceMsg announce;
+};
+
+Bytes encode(const Packet& pkt);
+Packet decode_packet(const Bytes& wire);
+
+Bytes encode_data(const DataMsg& d);
+DataMsg decode_data_payload(const Bytes& wire);
+
+}  // namespace eternal::totem

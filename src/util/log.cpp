@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace eternal::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel lvl, const std::string& component,
+                   const std::string& msg) {
+  if (time_source_) {
+    const std::uint64_t us = time_source_();
+    std::fprintf(stderr, "[%9llu.%06llu] %s %-10s %s\n",
+                 static_cast<unsigned long long>(us / 1000000),
+                 static_cast<unsigned long long>(us % 1000000),
+                 level_name(lvl), component.c_str(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[         ] %s %-10s %s\n", level_name(lvl),
+                 component.c_str(), msg.c_str());
+  }
+}
+
+}  // namespace eternal::util

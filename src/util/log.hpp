@@ -1,0 +1,75 @@
+// Minimal leveled logger.
+//
+// The simulator installs a time source so log lines carry *simulated* time,
+// which is what makes traces of a distributed execution readable. Logging is
+// off by default (Level::Off) so tests and benches stay quiet; integration
+// debugging flips the level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace eternal::util {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel lvl) const noexcept { return lvl >= level_; }
+
+  /// Install a source for timestamps (simulated microseconds). May be empty.
+  void set_time_source(std::function<std::uint64_t()> src) {
+    time_source_ = std::move(src);
+  }
+
+  void write(LogLevel lvl, const std::string& component, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Off;
+  std::function<std::uint64_t()> time_source_;
+};
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel lvl, const std::string& component, const Args&... args) {
+  Logger& lg = Logger::instance();
+  if (!lg.enabled(lvl)) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  lg.write(lvl, component, os.str());
+}
+
+#define ETERNAL_LOG(lvl, component, ...)                                    \
+  do {                                                                      \
+    if (::eternal::util::Logger::instance().enabled(lvl)) {                 \
+      ::eternal::util::log((lvl), (component), __VA_ARGS__);                \
+    }                                                                       \
+  } while (0)
+
+#define ETERNAL_TRACE(component, ...) \
+  ETERNAL_LOG(::eternal::util::LogLevel::Trace, component, __VA_ARGS__)
+#define ETERNAL_DEBUG(component, ...) \
+  ETERNAL_LOG(::eternal::util::LogLevel::Debug, component, __VA_ARGS__)
+#define ETERNAL_INFO(component, ...) \
+  ETERNAL_LOG(::eternal::util::LogLevel::Info, component, __VA_ARGS__)
+#define ETERNAL_WARN(component, ...) \
+  ETERNAL_LOG(::eternal::util::LogLevel::Warn, component, __VA_ARGS__)
+#define ETERNAL_ERROR(component, ...) \
+  ETERNAL_LOG(::eternal::util::LogLevel::Error, component, __VA_ARGS__)
+
+}  // namespace eternal::util

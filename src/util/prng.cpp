@@ -1,0 +1,14 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace eternal::util {
+
+double Xoshiro256::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; guard the log argument away from zero.
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(1.0 - u);
+}
+
+}  // namespace eternal::util

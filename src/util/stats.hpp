@@ -1,0 +1,56 @@
+// Online summary statistics for the benchmark harnesses.
+//
+// The figure benches report min / mean / percentiles of simulated latencies;
+// Summary collects samples and computes those on demand.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eternal::util {
+
+class Summary {
+ public:
+  void add(double v);
+  void clear() { samples_.clear(); sorted_ = true; }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// p in [0,100]; nearest-rank percentile.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// "n=100 min=1.2 mean=3.4 p50=3.1 p99=9.9 max=12.0"
+  std::string describe() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bucket histogram used by a few benches to show distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+  void add(double v);
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_low(std::size_t i) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace eternal::util

@@ -1,0 +1,32 @@
+// Manual debugging harness for the replication engine (not a ctest).
+#include <cstdio>
+
+#include "app/servants.hpp"
+#include "rep/domain.hpp"
+
+using namespace eternal;
+using namespace eternal::rep;
+
+int main() {
+  sim::Simulation sim(1);
+  sim::Network net(sim, 4);
+  totem::Fabric fabric(sim, net);
+  Domain domain(fabric);
+  fabric.start_all();
+
+  domain.host_on<app::Counter>(GroupConfig{"ctr", Style::WarmPassive},
+                               {0, 1, 2});
+  fabric.run_until_converged(2 * sim::kSecond);
+  sim.run_for(sim::kSecond);
+
+  for (sim::NodeId n = 0; n < 3; ++n) {
+    auto& e = domain.engine(n);
+    std::string synced, members;
+    for (auto m : e.synced_members("ctr")) synced += std::to_string(m) + ",";
+    for (auto m : e.group_members("ctr")) members += std::to_string(m) + ",";
+    std::printf("node %u synced={%s} members={%s} primary=%d is_synced=%d\n",
+                n, synced.c_str(), members.c_str(), e.is_primary("ctr"),
+                e.is_synced("ctr"));
+  }
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "app/servants.hpp"
+#include "rep/domain.hpp"
+#include "rep/ids.hpp"
+#include "rep/wire.hpp"
+
+namespace eternal::rep {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+using sim::NodeId;
+
+// ---------------------------------------------------------------------------
+// Identifiers
+// ---------------------------------------------------------------------------
+
+TEST(Ids, GlobalSeqOrdering) {
+  EXPECT_LT((GlobalSeq{1, 5}), (GlobalSeq{2, 0}));
+  EXPECT_LT((GlobalSeq{2, 1}), (GlobalSeq{2, 2}));
+  EXPECT_EQ((GlobalSeq{3, 3}), (GlobalSeq{3, 3}));
+  EXPECT_FALSE(GlobalSeq{}.valid());
+  EXPECT_TRUE((GlobalSeq{0, 1}).valid());
+}
+
+TEST(Ids, OperationIdOrderingAndHash) {
+  OperationId a{{1, 10}, 1};
+  OperationId b{{1, 10}, 2};
+  OperationId c{{1, 11}, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_EQ(a.hash(), (OperationId{{1, 10}, 1}).hash());
+}
+
+TEST(Ids, StrIsReadable) {
+  OperationId op{{7, 42}, 3};
+  EXPECT_EQ(op.str(), "7:42/3");
+}
+
+// ---------------------------------------------------------------------------
+// Envelope wire format
+// ---------------------------------------------------------------------------
+
+Envelope sample_invocation() {
+  Envelope env;
+  env.kind = Kind::Invocation;
+  env.op_id = {{5, 1234}, 7};
+  env.target_group = "acct.a";
+  env.reply_group = "teller";
+  env.source_group = "teller";
+  env.fulfillment = true;
+  env.timestamp = 987654321;
+  env.giop = {1, 2, 3, 4};
+  return env;
+}
+
+TEST(Wire, InvocationRoundTrip) {
+  const Envelope env = sample_invocation();
+  const Envelope out = decode_envelope(encode(env));
+  EXPECT_EQ(out.kind, Kind::Invocation);
+  EXPECT_EQ(out.op_id, env.op_id);
+  EXPECT_EQ(out.target_group, env.target_group);
+  EXPECT_EQ(out.reply_group, env.reply_group);
+  EXPECT_EQ(out.source_group, env.source_group);
+  EXPECT_EQ(out.fulfillment, env.fulfillment);
+  EXPECT_EQ(out.timestamp, env.timestamp);
+  EXPECT_EQ(out.giop, env.giop);
+}
+
+TEST(Wire, StateUpdateRoundTrip) {
+  Envelope env;
+  env.kind = Kind::StateUpdate;
+  env.op_id = {{2, 9}, 1};
+  env.target_group = "kv";
+  env.source_group = "kv";
+  env.state_version = 41;
+  env.operation = "put";
+  env.update = {9, 9, 9};
+  const Envelope out = decode_envelope(encode(env));
+  EXPECT_EQ(out.kind, Kind::StateUpdate);
+  EXPECT_EQ(out.state_version, 41u);
+  EXPECT_EQ(out.operation, "put");
+  EXPECT_EQ(out.update, (Bytes{9, 9, 9}));
+}
+
+TEST(Wire, JoinAndSnapshotFieldsRoundTrip) {
+  Envelope env;
+  env.kind = Kind::JoinRequest;
+  env.target_group = "g";
+  env.node = 3;
+  env.round = 5;
+  env.has_history = true;
+  Envelope out = decode_envelope(encode(env));
+  EXPECT_EQ(out.kind, Kind::JoinRequest);
+  EXPECT_EQ(out.node, 3u);
+  EXPECT_EQ(out.round, 5u);
+  EXPECT_TRUE(out.has_history);
+
+  env.kind = Kind::Snapshot;
+  env.chunk_index = 2;
+  env.chunk_count = 7;
+  env.blob = Bytes(100, 0xAA);
+  out = decode_envelope(encode(env));
+  EXPECT_EQ(out.kind, Kind::Snapshot);
+  EXPECT_EQ(out.chunk_index, 2u);
+  EXPECT_EQ(out.chunk_count, 7u);
+  EXPECT_EQ(out.blob.size(), 100u);
+}
+
+TEST(Wire, BadKindThrows) {
+  Bytes wire = encode(sample_invocation());
+  wire[0] = 99;
+  EXPECT_THROW(decode_envelope(wire), cdr::MarshalError);
+}
+
+TEST(Wire, TruncatedThrows) {
+  Bytes wire = encode(sample_invocation());
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(decode_envelope(wire), cdr::MarshalError);
+}
+
+// ---------------------------------------------------------------------------
+// Engine edges through the public API
+// ---------------------------------------------------------------------------
+
+struct Edge : ::testing::Test {
+  Edge() : sim(1), net(sim, 4), fabric(sim, net), domain(fabric) {
+    fabric.start_all();
+    fabric.run_until_converged(2 * kSecond);
+    sim.run_for(300 * kMillisecond);
+  }
+  sim::Simulation sim;
+  sim::Network net;
+  totem::Fabric fabric;
+  Domain domain;
+};
+
+TEST_F(Edge, UnknownOperationReturnsBadOperationThroughTheStack) {
+  domain.host_on<app::Counter>(GroupConfig{"ctr", Style::Active}, {0, 1});
+  sim.run_for(kSecond);
+  try {
+    domain.client(3).invoke_blocking("ctr", "no_such_op", {});
+    FAIL();
+  } catch (const orb::SystemException& e) {
+    EXPECT_NE(e.exception_id().find("BAD_OPERATION"), std::string::npos);
+  }
+  // The failed operation did not corrupt subsequent service.
+  cdr::Encoder enc;
+  enc.put_longlong(1);
+  cdr::Bytes out = domain.client(3).invoke_blocking("ctr", "incr", enc.take());
+  cdr::Decoder dec(out);
+  EXPECT_EQ(dec.get_longlong(), 1);
+}
+
+TEST_F(Edge, InvocationToNonexistentGroupTimesOut) {
+  EXPECT_THROW(
+      domain.client(0).invoke_blocking("ghost", "op", {}, 500 * kMillisecond),
+      orb::SystemException);
+}
+
+TEST_F(Edge, MalformedArgumentsYieldMarshalException) {
+  domain.host_on<app::Counter>(GroupConfig{"ctr", Style::Active}, {0, 1});
+  sim.run_for(kSecond);
+  try {
+    // "incr" expects a longlong; send nothing.
+    domain.client(3).invoke_blocking("ctr", "incr", {});
+    FAIL();
+  } catch (const orb::SystemException& e) {
+    EXPECT_NE(e.exception_id().find("MARSHAL"), std::string::npos);
+  }
+}
+
+TEST_F(Edge, UnhostedGroupStopsServingLocally) {
+  domain.host_on<app::Counter>(GroupConfig{"ctr", Style::Active}, {0, 1});
+  sim.run_for(kSecond);
+  cdr::Encoder enc;
+  enc.put_longlong(1);
+  domain.client(3).invoke_blocking("ctr", "incr", enc.take());
+  domain.engine(0).unhost("ctr");
+  EXPECT_FALSE(domain.engine(0).hosts("ctr"));
+  sim.run_for(kSecond);
+  // Remaining replica serves on.
+  cdr::Encoder enc2;
+  enc2.put_longlong(1);
+  cdr::Bytes out =
+      domain.client(3).invoke_blocking("ctr", "incr", enc2.take());
+  cdr::Decoder dec(out);
+  EXPECT_EQ(dec.get_longlong(), 2);
+}
+
+TEST_F(Edge, TwoGroupsSameServantTypeAreIndependent) {
+  domain.host_on<app::Counter>(GroupConfig{"a", Style::Active}, {0});
+  domain.host_on<app::Counter>(GroupConfig{"b", Style::Active}, {0});
+  sim.run_for(kSecond);
+  cdr::Encoder enc;
+  enc.put_longlong(5);
+  domain.client(3).invoke_blocking("a", "incr", enc.take());
+  cdr::Bytes out = domain.client(3).invoke_blocking("b", "get", {});
+  cdr::Decoder dec(out);
+  EXPECT_EQ(dec.get_longlong(), 0);  // group b untouched
+}
+
+TEST_F(Edge, ClientOpIdsAreUniquePerNode) {
+  domain.host_on<app::Counter>(GroupConfig{"ctr", Style::Active}, {0});
+  sim.run_for(kSecond);
+  // Two clients on different nodes interleave; both see exactly-once.
+  cdr::Encoder e1, e2;
+  e1.put_longlong(1);
+  e2.put_longlong(1);
+  auto f1 = domain.client(2).invoke("ctr", "incr", e1.take());
+  auto f2 = domain.client(3).invoke("ctr", "incr", e2.take());
+  sim.run_for(2 * kSecond);
+  ASSERT_TRUE(f1.ready());
+  ASSERT_TRUE(f2.ready());
+  auto counter = std::dynamic_pointer_cast<app::Counter>(
+      domain.engine(0).local_replica("ctr"));
+  EXPECT_EQ(counter->value(), 2);
+}
+
+}  // namespace
+}  // namespace eternal::rep

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_plan.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace eternal::sim {
+namespace {
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulation, SimultaneousEventsAreFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, AfterIsRelative) {
+  Simulation sim;
+  Time fired = 0;
+  sim.at(100, [&] {
+    sim.after(50, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 150u);
+}
+
+TEST(Simulation, CancelledTimerDoesNotFire) {
+  Simulation sim;
+  bool fired = false;
+  auto h = sim.at(10, [&] { fired = true; });
+  h.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, TimerActiveReflectsState) {
+  Simulation sim;
+  auto h = sim.at(10, [] {});
+  EXPECT_TRUE(h.active());
+  sim.run();
+  EXPECT_FALSE(h.active());
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int count = 0;
+  sim.at(10, [&] { ++count; });
+  sim.at(20, [&] { ++count; });
+  sim.at(30, [&] { ++count; });
+  sim.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  sim.at(100, [] {});
+  sim.run();
+  Time fired = 0;
+  sim.at(5, [&] { fired = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(fired, 100u);
+}
+
+TEST(Simulation, EventLimitCatchesLivelock) {
+  Simulation sim;
+  sim.set_event_limit(100);
+  std::function<void()> loop = [&] { sim.after(1, loop); };
+  sim.after(1, loop);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulation, DeterministicReplay) {
+  auto run = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 100; ++i) {
+      sim.after(sim.rng().below(1000), [&] { vals.push_back(sim.now()); });
+    }
+    sim.run();
+    return vals;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+struct NetFixture : ::testing::Test {
+  Simulation sim{1};
+  NetParams params{};
+  Network net{sim, 4, params};
+  std::vector<std::vector<std::pair<NodeId, Bytes>>> inbox{4};
+
+  void SetUp() override {
+    for (NodeId i = 0; i < 4; ++i) {
+      net.set_handler(i, [this, i](NodeId from, const Bytes& data) {
+        inbox[i].push_back({from, data});
+      });
+    }
+  }
+};
+
+TEST_F(NetFixture, UnicastDelivers) {
+  net.unicast(0, 1, {1, 2, 3});
+  sim.run();
+  ASSERT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[1][0].first, 0u);
+  EXPECT_EQ(inbox[1][0].second, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(inbox[0].empty());
+}
+
+TEST_F(NetFixture, UnicastHasLatency) {
+  net.unicast(0, 1, {1});
+  EXPECT_TRUE(inbox[1].empty());  // not delivered synchronously
+  sim.run();
+  EXPECT_GE(sim.now(), params.base_latency);
+}
+
+TEST_F(NetFixture, MulticastExcludesSender) {
+  net.multicast(0, {9});
+  sim.run();
+  EXPECT_TRUE(inbox[0].empty());
+  EXPECT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[2].size(), 1u);
+  EXPECT_EQ(inbox[3].size(), 1u);
+}
+
+TEST_F(NetFixture, CrashedNodeNeitherSendsNorReceives) {
+  net.crash(2);
+  net.multicast(0, {1});
+  net.unicast(2, 1, {2});
+  sim.run();
+  EXPECT_TRUE(inbox[2].empty());
+  ASSERT_EQ(inbox[1].size(), 1u);  // only node 0's multicast
+  EXPECT_EQ(inbox[1][0].first, 0u);
+}
+
+TEST_F(NetFixture, RecoverRestoresDelivery) {
+  net.crash(2);
+  net.recover(2);
+  net.unicast(0, 2, {5});
+  sim.run();
+  EXPECT_EQ(inbox[2].size(), 1u);
+}
+
+TEST_F(NetFixture, PartitionBlocksAcrossComponents) {
+  net.set_partitions({{0, 1}, {2, 3}});
+  net.multicast(0, {7});
+  sim.run();
+  EXPECT_EQ(inbox[1].size(), 1u);
+  EXPECT_TRUE(inbox[2].empty());
+  EXPECT_TRUE(inbox[3].empty());
+  EXPECT_TRUE(net.reachable(0, 1));
+  EXPECT_FALSE(net.reachable(0, 2));
+}
+
+TEST_F(NetFixture, HealRestoresConnectivity) {
+  net.set_partitions({{0, 1}, {2, 3}});
+  net.heal_partitions();
+  net.multicast(0, {7});
+  sim.run();
+  EXPECT_EQ(inbox[2].size(), 1u);
+}
+
+TEST_F(NetFixture, MessagesInFlightAcrossPartitionAreDropped) {
+  net.unicast(0, 2, {1});
+  net.set_partitions({{0, 1}, {2, 3}});  // partition forms before delivery
+  sim.run();
+  EXPECT_TRUE(inbox[2].empty());
+  EXPECT_EQ(net.stats().datagrams_partitioned, 1u);
+}
+
+TEST_F(NetFixture, LossDropsApproximatelyAtRate) {
+  NetParams lossy;
+  lossy.loss_probability = 0.5;
+  net.set_params(lossy);
+  for (int i = 0; i < 1000; ++i) net.unicast(0, 1, {1});
+  sim.run();
+  EXPECT_GT(inbox[1].size(), 350u);
+  EXPECT_LT(inbox[1].size(), 650u);
+  EXPECT_EQ(inbox[1].size() + net.stats().datagrams_lost, 1000u);
+}
+
+TEST_F(NetFixture, BandwidthAddsSizeCost) {
+  NetParams slow;
+  slow.jitter = 0;
+  slow.bytes_per_us = 1.0;  // 1 byte per microsecond
+  net.set_params(slow);
+  net.unicast(0, 1, Bytes(1000, 0));
+  sim.run();
+  EXPECT_EQ(sim.now(), slow.base_latency + 1000);
+}
+
+TEST_F(NetFixture, StatsCountTraffic) {
+  net.unicast(0, 1, {1, 2});
+  net.multicast(1, {3});
+  sim.run();
+  EXPECT_EQ(net.stats().unicasts_sent, 1u);
+  EXPECT_EQ(net.stats().multicasts_sent, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 3u);
+  EXPECT_EQ(net.stats().datagrams_delivered, 4u);
+}
+
+TEST(FaultPlan, ScriptedActionsApplyAtTime) {
+  Simulation sim;
+  Network net(sim, 3);
+  FaultPlan plan(net);
+  plan.crash_at(100, 1)
+      .partition_at(200, {{0}, {2}})
+      .heal_at(300)
+      .recover_at(400, 1);
+  plan.arm();
+
+  sim.run_until(150);
+  EXPECT_FALSE(net.is_up(1));
+  sim.run_until(250);
+  EXPECT_FALSE(net.reachable(0, 2));
+  sim.run_until(350);
+  EXPECT_TRUE(net.reachable(0, 2));
+  sim.run_until(450);
+  EXPECT_TRUE(net.is_up(1));
+}
+
+TEST(FaultPlan, DoubleArmThrows) {
+  Simulation sim;
+  Network net(sim, 1);
+  FaultPlan plan(net);
+  plan.arm();
+  EXPECT_THROW(plan.arm(), std::logic_error);
+}
+
+TEST(FaultPlan, DescribeListsSteps) {
+  Simulation sim;
+  Network net(sim, 2);
+  FaultPlan plan(net);
+  plan.crash_at(10, 0).heal_at(20);
+  const std::string desc = plan.describe();
+  EXPECT_NE(desc.find("crash node 0"), std::string::npos);
+  EXPECT_NE(desc.find("heal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eternal::sim

@@ -1,0 +1,39 @@
+// Manual debugging harness for the membership protocol (not a ctest).
+#include <cstdio>
+
+#include "totem/fabric.hpp"
+#include "util/log.hpp"
+
+using namespace eternal;
+using namespace eternal::totem;
+
+int main(int argc, char** argv) {
+  util::Logger::instance().set_level(util::LogLevel::Trace);
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2;
+  sim::Simulation sim(1);
+  sim::Network net(sim, n);
+  Fabric fabric(sim, net);
+  for (sim::NodeId i = 0; i < n; ++i) {
+    fabric.group(i).set_ring_view_handler([i](const RingView& v) {
+      std::string m;
+      for (auto x : v.members) m += std::to_string(x) + ",";
+      std::fprintf(stderr, "VIEW node=%u kind=%s ring=%s members=%s\n", i,
+                   v.kind == ViewEvent::Kind::Regular ? "REG" : "TRANS",
+                   v.ring.str().c_str(), m.c_str());
+    });
+  }
+  fabric.start_all();
+  bool ok = fabric.run_until_converged(2 * sim::kSecond);
+  std::fprintf(stderr, "converged=%d now=%llu\n", ok,
+               (unsigned long long)sim.now());
+  for (sim::NodeId i = 0; i < n; ++i) {
+    const auto& node = fabric.node(i);
+    std::string m;
+    for (auto x : node.members()) m += std::to_string(x) + ",";
+    std::fprintf(stderr,
+                 "node %u operational=%d ring=%s members=%s visits=%llu\n", i,
+                 node.operational(), node.ring_id().str().c_str(), m.c_str(),
+                 (unsigned long long)node.stats().token_visits);
+  }
+  return ok ? 0 : 1;
+}
