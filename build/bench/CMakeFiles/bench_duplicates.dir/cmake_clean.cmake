@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duplicates.dir/bench_duplicates.cpp.o"
+  "CMakeFiles/bench_duplicates.dir/bench_duplicates.cpp.o.d"
+  "bench_duplicates"
+  "bench_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_tiers.dir/bench_state_tiers.cpp.o"
+  "CMakeFiles/bench_state_tiers.dir/bench_state_tiers.cpp.o.d"
+  "bench_state_tiers"
+  "bench_state_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_transfer.dir/bench_state_transfer.cpp.o"
+  "CMakeFiles/bench_state_transfer.dir/bench_state_transfer.cpp.o.d"
+  "bench_state_transfer"
+  "bench_state_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_totem.dir/bench_totem.cpp.o"
+  "CMakeFiles/bench_totem.dir/bench_totem.cpp.o.d"
+  "bench_totem"
+  "bench_totem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_totem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

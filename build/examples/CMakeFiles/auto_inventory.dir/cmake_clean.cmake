@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_inventory.dir/auto_inventory.cpp.o"
+  "CMakeFiles/auto_inventory.dir/auto_inventory.cpp.o.d"
+  "auto_inventory"
+  "auto_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_nested.dir/bank_nested.cpp.o"
+  "CMakeFiles/bank_nested.dir/bank_nested.cpp.o.d"
+  "bank_nested"
+  "bank_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_upgrade.cpp" "examples/CMakeFiles/live_upgrade.dir/live_upgrade.cpp.o" "gcc" "examples/CMakeFiles/live_upgrade.dir/live_upgrade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ft/CMakeFiles/eternal_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/eternal_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/rep/CMakeFiles/eternal_rep.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/eternal_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/giop/CMakeFiles/eternal_giop.dir/DependInfo.cmake"
+  "/root/repo/build/src/totem/CMakeFiles/eternal_totem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eternal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/eternal_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eternal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

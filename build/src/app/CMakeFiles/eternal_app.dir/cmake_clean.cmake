@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_app.dir/servants.cpp.o"
+  "CMakeFiles/eternal_app.dir/servants.cpp.o.d"
+  "libeternal_app.a"
+  "libeternal_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

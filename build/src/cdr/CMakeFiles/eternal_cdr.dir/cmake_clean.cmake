@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_cdr.dir/cdr.cpp.o"
+  "CMakeFiles/eternal_cdr.dir/cdr.cpp.o.d"
+  "libeternal_cdr.a"
+  "libeternal_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_ft.dir/fault_detector.cpp.o"
+  "CMakeFiles/eternal_ft.dir/fault_detector.cpp.o.d"
+  "CMakeFiles/eternal_ft.dir/properties.cpp.o"
+  "CMakeFiles/eternal_ft.dir/properties.cpp.o.d"
+  "CMakeFiles/eternal_ft.dir/replication_manager.cpp.o"
+  "CMakeFiles/eternal_ft.dir/replication_manager.cpp.o.d"
+  "libeternal_ft.a"
+  "libeternal_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

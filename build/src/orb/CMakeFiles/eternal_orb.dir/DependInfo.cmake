@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/adapter.cpp" "src/orb/CMakeFiles/eternal_orb.dir/adapter.cpp.o" "gcc" "src/orb/CMakeFiles/eternal_orb.dir/adapter.cpp.o.d"
+  "/root/repo/src/orb/plain.cpp" "src/orb/CMakeFiles/eternal_orb.dir/plain.cpp.o" "gcc" "src/orb/CMakeFiles/eternal_orb.dir/plain.cpp.o.d"
+  "/root/repo/src/orb/servant.cpp" "src/orb/CMakeFiles/eternal_orb.dir/servant.cpp.o" "gcc" "src/orb/CMakeFiles/eternal_orb.dir/servant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/giop/CMakeFiles/eternal_giop.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eternal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/eternal_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eternal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

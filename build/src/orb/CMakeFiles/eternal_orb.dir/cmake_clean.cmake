@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_orb.dir/adapter.cpp.o"
+  "CMakeFiles/eternal_orb.dir/adapter.cpp.o.d"
+  "CMakeFiles/eternal_orb.dir/plain.cpp.o"
+  "CMakeFiles/eternal_orb.dir/plain.cpp.o.d"
+  "CMakeFiles/eternal_orb.dir/servant.cpp.o"
+  "CMakeFiles/eternal_orb.dir/servant.cpp.o.d"
+  "libeternal_orb.a"
+  "libeternal_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_rep.dir/client.cpp.o"
+  "CMakeFiles/eternal_rep.dir/client.cpp.o.d"
+  "CMakeFiles/eternal_rep.dir/domain.cpp.o"
+  "CMakeFiles/eternal_rep.dir/domain.cpp.o.d"
+  "CMakeFiles/eternal_rep.dir/engine.cpp.o"
+  "CMakeFiles/eternal_rep.dir/engine.cpp.o.d"
+  "CMakeFiles/eternal_rep.dir/replica.cpp.o"
+  "CMakeFiles/eternal_rep.dir/replica.cpp.o.d"
+  "CMakeFiles/eternal_rep.dir/wire.cpp.o"
+  "CMakeFiles/eternal_rep.dir/wire.cpp.o.d"
+  "libeternal_rep.a"
+  "libeternal_rep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_rep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

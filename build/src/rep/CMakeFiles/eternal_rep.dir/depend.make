@@ -1,0 +1,2 @@
+# Empty dependencies file for eternal_rep.
+# This may be replaced when dependencies are built.

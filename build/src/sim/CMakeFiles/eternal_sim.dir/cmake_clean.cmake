@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_sim.dir/fault_plan.cpp.o"
+  "CMakeFiles/eternal_sim.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/eternal_sim.dir/network.cpp.o"
+  "CMakeFiles/eternal_sim.dir/network.cpp.o.d"
+  "CMakeFiles/eternal_sim.dir/simulation.cpp.o"
+  "CMakeFiles/eternal_sim.dir/simulation.cpp.o.d"
+  "libeternal_sim.a"
+  "libeternal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

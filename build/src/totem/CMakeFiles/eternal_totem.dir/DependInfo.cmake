@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/totem/fabric.cpp" "src/totem/CMakeFiles/eternal_totem.dir/fabric.cpp.o" "gcc" "src/totem/CMakeFiles/eternal_totem.dir/fabric.cpp.o.d"
+  "/root/repo/src/totem/group.cpp" "src/totem/CMakeFiles/eternal_totem.dir/group.cpp.o" "gcc" "src/totem/CMakeFiles/eternal_totem.dir/group.cpp.o.d"
+  "/root/repo/src/totem/node.cpp" "src/totem/CMakeFiles/eternal_totem.dir/node.cpp.o" "gcc" "src/totem/CMakeFiles/eternal_totem.dir/node.cpp.o.d"
+  "/root/repo/src/totem/wire.cpp" "src/totem/CMakeFiles/eternal_totem.dir/wire.cpp.o" "gcc" "src/totem/CMakeFiles/eternal_totem.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/eternal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/eternal_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eternal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_totem.dir/fabric.cpp.o"
+  "CMakeFiles/eternal_totem.dir/fabric.cpp.o.d"
+  "CMakeFiles/eternal_totem.dir/group.cpp.o"
+  "CMakeFiles/eternal_totem.dir/group.cpp.o.d"
+  "CMakeFiles/eternal_totem.dir/node.cpp.o"
+  "CMakeFiles/eternal_totem.dir/node.cpp.o.d"
+  "CMakeFiles/eternal_totem.dir/wire.cpp.o"
+  "CMakeFiles/eternal_totem.dir/wire.cpp.o.d"
+  "libeternal_totem.a"
+  "libeternal_totem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_totem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeternal_totem.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eternal_util.dir/log.cpp.o"
+  "CMakeFiles/eternal_util.dir/log.cpp.o.d"
+  "CMakeFiles/eternal_util.dir/prng.cpp.o"
+  "CMakeFiles/eternal_util.dir/prng.cpp.o.d"
+  "CMakeFiles/eternal_util.dir/stats.cpp.o"
+  "CMakeFiles/eternal_util.dir/stats.cpp.o.d"
+  "libeternal_util.a"
+  "libeternal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eternal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

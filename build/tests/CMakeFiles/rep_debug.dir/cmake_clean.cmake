@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rep_debug.dir/rep_debug.cpp.o"
+  "CMakeFiles/rep_debug.dir/rep_debug.cpp.o.d"
+  "rep_debug"
+  "rep_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rep_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rep_test.dir/rep_test.cpp.o"
+  "CMakeFiles/rep_test.dir/rep_test.cpp.o.d"
+  "rep_test"
+  "rep_test.pdb"
+  "rep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

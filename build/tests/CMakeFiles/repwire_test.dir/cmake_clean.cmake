@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repwire_test.dir/repwire_test.cpp.o"
+  "CMakeFiles/repwire_test.dir/repwire_test.cpp.o.d"
+  "repwire_test"
+  "repwire_test.pdb"
+  "repwire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repwire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

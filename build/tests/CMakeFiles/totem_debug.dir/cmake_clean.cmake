@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/totem_debug.dir/totem_debug.cpp.o"
+  "CMakeFiles/totem_debug.dir/totem_debug.cpp.o.d"
+  "totem_debug"
+  "totem_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/totem_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

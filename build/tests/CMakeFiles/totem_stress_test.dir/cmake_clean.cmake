@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/totem_stress_test.dir/totem_stress_test.cpp.o"
+  "CMakeFiles/totem_stress_test.dir/totem_stress_test.cpp.o.d"
+  "totem_stress_test"
+  "totem_stress_test.pdb"
+  "totem_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/totem_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/totem_test.dir/totem_test.cpp.o"
+  "CMakeFiles/totem_test.dir/totem_test.cpp.o.d"
+  "totem_test"
+  "totem_test.pdb"
+  "totem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/totem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/cdr_test[1]_include.cmake")
+include("/root/repo/build/tests/giop_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/totem_test[1]_include.cmake")
+include("/root/repo/build/tests/totem_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/rep_test[1]_include.cmake")
+include("/root/repo/build/tests/ft_test[1]_include.cmake")
+include("/root/repo/build/tests/orb_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/repwire_test[1]_include.cmake")
