@@ -6,6 +6,7 @@
 #include <map>
 
 #include "giop/giop.hpp"
+#include "obs/obs.hpp"
 #include "rep/wire.hpp"
 #include "totem/wire.hpp"
 
@@ -98,6 +99,56 @@ void BM_OperationIdTableLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OperationIdTableLookup);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter& c =
+      obs::Registry::global().counter("bench.counter_inc");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& h = obs::Registry::global().histogram(
+      "bench.histogram_observe", 0.0, 10000.0, 50);
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 9999.0 ? v + 17.0 : 0.0;
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+// The per-message cost of tracing when it is switched off: the guard the
+// engine's hot path pays on every envelope must stay a single branch.
+void BM_ObsTraceDisabledGuard(benchmark::State& state) {
+  obs::Tracer& t = obs::Tracer::global();
+  t.enable(false);
+  const obs::OpRef op{7, 1234, 3};
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    if (t.enabled()) {
+      t.record(now, 1, op, obs::SpanEvent::TotemDeliver, "never built");
+    }
+    benchmark::DoNotOptimize(++now);
+  }
+}
+BENCHMARK(BM_ObsTraceDisabledGuard);
+
+void BM_ObsTraceRecordEnabled(benchmark::State& state) {
+  obs::Tracer t(8192);
+  t.enable(true);
+  const obs::OpRef op{7, 1234, 3};
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    t.record(++now, 1, op, obs::SpanEvent::TotemDeliver,
+             "group=inventory");
+  }
+  benchmark::DoNotOptimize(t.size());
+}
+BENCHMARK(BM_ObsTraceRecordEnabled);
 
 void BM_FtRequestContext(benchmark::State& state) {
   giop::FtRequestContext ctx;

@@ -12,6 +12,7 @@
 
 #include "app/servants.hpp"
 #include "ft/replication_manager.hpp"
+#include "obs/obs.hpp"
 #include "rep/domain.hpp"
 #include "util/stats.hpp"
 
@@ -22,6 +23,13 @@ struct FtCluster {
                      rep::EngineParams ep = {}, totem::Params tp = {})
       : sim(seed), net(sim, n), fabric(sim, net, tp), domain(fabric, ep),
         rm(domain, notifier) {
+    // Each cluster is a fresh experiment: apply the ETERNAL_TRACE /
+    // ETERNAL_JOURNAL toggles and wipe the previous cluster's telemetry, so
+    // an obs_report() after the sweep reads the last run's story.
+    obs::configure_from_env();
+    obs::Registry::global().reset();
+    obs::Tracer::global().clear();
+    obs::Journal::global().clear();
     fabric.start_all();
     fabric.run_until_converged(2 * sim::kSecond);
     sim.run_for(300 * sim::kMillisecond);
@@ -97,6 +105,43 @@ inline std::string fmt_u(std::uint64_t v) { return std::to_string(v); }
 
 inline void banner(const std::string& id, const std::string& title) {
   std::printf("\n## %s — %s\n\n", id.c_str(), title.c_str());
+}
+
+/// Observability read-out, printed after each bench's tables: the metrics
+/// registry snapshot (values reflect the most recent cluster — FtCluster
+/// resets telemetry at construction), the lifecycle trace of the last
+/// completed invocation when `ETERNAL_TRACE=1`, and the membership & fault
+/// event journal when it captured anything.
+inline void obs_report() {
+  std::printf("\n### observability — metrics registry snapshot\n\n```\n%s```\n",
+              obs::Registry::global().to_text().c_str());
+
+  const auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    std::printf("\n### observability — operation lifecycle trace\n\n");
+    if (auto op = tracer.last_completed_op()) {
+      std::printf("last completed operation %s (%llu records captured, "
+                  "%llu overwritten):\n\n```\n%s```\n",
+                  op->str().c_str(),
+                  static_cast<unsigned long long>(tracer.recorded()),
+                  static_cast<unsigned long long>(tracer.dropped()),
+                  tracer.dump_text(*op).c_str());
+    } else {
+      std::printf("(no completed operation in the ring: %zu records, "
+                  "%llu overwritten)\n",
+                  tracer.size(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    }
+  }
+
+  const auto& journal = obs::Journal::global();
+  if (journal.enabled() && journal.size() > 0) {
+    std::printf("\n### observability — membership & fault event journal "
+                "(%zu events, %llu dropped)\n\n```\n%s```\n",
+                journal.size(),
+                static_cast<unsigned long long>(journal.dropped()),
+                journal.dump_text().c_str());
+  }
 }
 
 }  // namespace eternal::bench

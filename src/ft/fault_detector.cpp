@@ -1,6 +1,7 @@
 #include "ft/fault_detector.hpp"
 
 #include "cdr/cdr.hpp"
+#include "obs/journal.hpp"
 
 namespace eternal::ft {
 
@@ -19,7 +20,22 @@ cdr::Bytes make_msg(std::uint8_t type, sim::NodeId from, std::uint64_t seq) {
 
 FaultDetector::FaultDetector(sim::Simulation& sim, totem::GroupLayer& groups,
                              FaultNotifier& notifier)
-    : sim_(sim), groups_(groups), notifier_(notifier) {}
+    : sim_(sim),
+      groups_(groups),
+      notifier_(notifier),
+      pings_sent_(obs::Registry::global().counter(
+          obs::node_metric("ftd", "pings_sent", groups.id()))),
+      pongs_received_(obs::Registry::global().counter(
+          obs::node_metric("ftd", "pongs_received", groups.id()))),
+      faults_reported_(obs::Registry::global().counter(
+          obs::node_metric("ftd", "faults_reported", groups.id()))),
+      faults_cleared_(obs::Registry::global().counter(
+          obs::node_metric("ftd", "faults_cleared", groups.id()))) {
+  pings_sent_.reset();
+  pongs_received_.reset();
+  faults_reported_.reset();
+  faults_cleared_.reset();
+}
 
 void FaultDetector::start() {
   if (started_) return;
@@ -78,13 +94,21 @@ void FaultDetector::send_ping(sim::NodeId target) {
   if (it == watches_.end()) return;
   Watch& watch = it->second;
   watch.awaiting_seq = watch.next_seq++;
+  pings_sent_.inc();
   groups_.send(inbox_name(target),
                make_msg(kPing, groups_.id(), watch.awaiting_seq));
   watch.timeout_timer = sim_.after(watch.timeout, [this, target] {
     auto wit = watches_.find(target);
     if (wit == watches_.end() || wit->second.awaiting_seq == 0) return;
     wit->second.suspected = true;
+    const std::uint64_t missed = wit->second.awaiting_seq;
     wit->second.awaiting_seq = 0;
+    faults_reported_.inc();
+    obs::Journal::global().emit(
+        sim_.now(), groups_.id(), obs::EventKind::FaultSuspected,
+        "node" + std::to_string(target),
+        "ping_seq=" + std::to_string(missed) +
+            " timeout=" + std::to_string(wit->second.timeout) + "us");
     notifier_.push(FaultReport{target, "", sim_.now(), "CRASH"});
     // Keep probing: recovery clears the suspicion.
     schedule_ping(target, wit->second.interval);
@@ -106,10 +130,16 @@ void FaultDetector::on_message(const totem::GroupMessage& m) {
     if (it == watches_.end()) return;
     Watch& watch = it->second;
     if (watch.awaiting_seq != seq) return;  // stale pong
+    pongs_received_.inc();
     watch.awaiting_seq = 0;
     watch.timeout_timer.cancel();
     if (watch.suspected) {
       watch.suspected = false;
+      faults_cleared_.inc();
+      obs::Journal::global().emit(sim_.now(), groups_.id(),
+                                  obs::EventKind::FaultCleared,
+                                  "node" + std::to_string(from),
+                                  "pong_seq=" + std::to_string(seq));
       notifier_.push(FaultReport{from, "", sim_.now(), "RECOVERED"});
     }
     schedule_ping(from, watch.interval);

@@ -16,6 +16,7 @@
 #include <map>
 
 #include "ft/fault_notifier.hpp"
+#include "obs/metrics.hpp"
 #include "totem/group.hpp"
 
 namespace eternal::ft {
@@ -65,6 +66,11 @@ class FaultDetector {
   FaultNotifier& notifier_;
   bool started_ = false;
   std::map<sim::NodeId, Watch> watches_;
+  // `ftd.*{node=N}` registry tallies, zeroed at construction.
+  obs::Counter& pings_sent_;
+  obs::Counter& pongs_received_;
+  obs::Counter& faults_reported_;
+  obs::Counter& faults_cleared_;
 };
 
 }  // namespace eternal::ft

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/journal.hpp"
+
 namespace eternal::ft {
 
 cdr::Bytes Iogr::encode() const {
@@ -38,7 +40,11 @@ Iogr Iogr::decode(const cdr::Bytes& wire) {
 
 ReplicationManager::ReplicationManager(rep::Domain& domain,
                                        FaultNotifier& notifier)
-    : domain_(domain), notifier_(notifier) {
+    : domain_(domain),
+      notifier_(notifier),
+      replicas_spawned_(
+          obs::Registry::global().counter("rm.replicas_spawned")) {
+  replicas_spawned_.reset();
   for (sim::NodeId i = 0; i < domain_.size(); ++i) {
     domain_.engine(i).set_view_observer(
         [this, i](const totem::GroupView& v) { on_view(i, v); });
@@ -121,6 +127,9 @@ Iogr ReplicationManager::add_member(const std::string& group,
   // Joins unsynced: the engine acquires the three-tier state by transfer.
   domain_.engine(node).host(cfg, g.factory(node), /*initial=*/false);
   ++g.version;
+  obs::Journal::global().emit(domain_.simulation().now(), node,
+                              obs::EventKind::MemberAdded, group,
+                              "iogr_version=" + std::to_string(g.version));
   return iogr(group);
 }
 
@@ -133,6 +142,9 @@ Iogr ReplicationManager::remove_member(const std::string& group,
   }
   domain_.engine(node).unhost(group);
   ++it->second.version;
+  obs::Journal::global().emit(
+      domain_.simulation().now(), node, obs::EventKind::MemberRemoved, group,
+      "iogr_version=" + std::to_string(it->second.version));
   return iogr(group);
 }
 
@@ -207,7 +219,12 @@ void ReplicationManager::ensure_minimum(ManagedGroup& g) {
       if (!domain_.fabric().is_up(n)) continue;
       try {
         add_member(name, n);
-        ++replicas_spawned_;
+        replicas_spawned_.inc();
+        obs::Journal::global().emit(
+            domain_.simulation().now(), n, obs::EventKind::ReplicaSpawned,
+            name,
+            "members=" + obs::format_members(g.members) +
+                " min=" + std::to_string(props.minimum_number_replicas));
         notifier_.push(
             FaultReport{n, name, domain_.simulation().now(), "SPAWNED"});
       } catch (const ObjectGroupError&) {

@@ -28,6 +28,7 @@
 
 #include "ft/fault_notifier.hpp"
 #include "ft/properties.hpp"
+#include "obs/metrics.hpp"
 #include "rep/domain.hpp"
 
 namespace eternal::ft {
@@ -84,7 +85,7 @@ class ReplicationManager {
   }
 
   /// Replicas spawned automatically to restore MinimumNumberReplicas.
-  std::uint64_t replicas_spawned() const { return replicas_spawned_; }
+  std::uint64_t replicas_spawned() const { return replicas_spawned_.value(); }
 
  private:
   struct ManagedGroup {
@@ -114,7 +115,7 @@ class ReplicationManager {
   FaultNotifier& notifier_;
   PropertyManager properties_;
   std::map<std::string, ManagedGroup> groups_;
-  std::uint64_t replicas_spawned_ = 0;
+  obs::Counter& replicas_spawned_;  // `rm.replicas_spawned` in the registry
 };
 
 }  // namespace eternal::ft

@@ -1,0 +1,132 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// The registry is the system-wide home for the numbers every layer already
+// kept privately (EngineStats, Totem node counters, fault-detector tallies):
+// a metric is created once by name and then incremented through a stable
+// handle, so the hot path is a single relaxed atomic add — no lookup, no
+// lock. Registration takes a mutex; it happens at component construction,
+// never per message. Snapshots export every metric as plaintext or JSON so
+// benches and tools can diff whole-system behaviour between runs.
+//
+// Naming convention: `<layer>.<metric>{<label>=<value>}`, e.g.
+// `engine.invocations_executed{node=3}`. Per-instance metrics are reset by
+// their owner at construction, so sequential simulations in one process
+// (tests, bench sweeps) each start from zero.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eternal::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: [lo, hi) split into equal-width buckets, with
+/// underflow/overflow tallies and a running sum for the mean.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void observe(double v) noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  double bucket_low(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  std::uint64_t underflow() const noexcept {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  void reset() noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> underflow_{0}, overflow_{0}, count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Registry {
+ public:
+  /// Find-or-create. Returned references stay valid for the registry's
+  /// lifetime (metrics are never deregistered).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Find-or-create; the shape arguments are only used on first creation.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets);
+
+  /// Zero every metric, keeping registrations (and handles) intact.
+  void reset();
+
+  /// One `name value` line per metric, sorted by name. Histograms render as
+  /// `name count=N mean=M under=U over=O buckets=[lo:count ...]` with empty
+  /// buckets elided.
+  std::string to_text() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string to_json() const;
+
+  /// The process-wide default registry all layers register into.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// `layer.metric{node=<id>}` — the registry naming convention for
+/// per-processor metrics.
+std::string node_metric(const char* layer, const char* metric,
+                        std::uint32_t node);
+
+}  // namespace eternal::obs

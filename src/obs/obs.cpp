@@ -1,0 +1,31 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace eternal::obs {
+
+namespace {
+bool truthy(const char* v) {
+  return v != nullptr && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "off") != 0 && std::strcmp(v, "false") != 0 &&
+         std::strcmp(v, "") != 0;
+}
+}  // namespace
+
+void configure_from_env() {
+  static const bool once = [] {
+    if (truthy(std::getenv("ETERNAL_TRACE"))) Tracer::global().enable();
+    if (const char* cap = std::getenv("ETERNAL_TRACE_CAP")) {
+      const long n = std::atol(cap);
+      if (n > 0) Tracer::global().set_capacity(static_cast<std::size_t>(n));
+    }
+    if (const char* j = std::getenv("ETERNAL_JOURNAL"); j && !truthy(j)) {
+      Journal::global().enable(false);
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace eternal::obs

@@ -1,0 +1,21 @@
+// Umbrella header for the observability subsystem: metrics registry,
+// operation-lifecycle tracing, and the membership & fault event journal.
+//
+// Environment controls (read once by configure_from_env):
+//   ETERNAL_TRACE=1        enable the global operation tracer
+//   ETERNAL_TRACE_CAP=N    tracer ring-buffer capacity (default 8192)
+//   ETERNAL_JOURNAL=0      disable the (default-on) event journal
+#pragma once
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace eternal::obs {
+
+/// Apply the ETERNAL_TRACE / ETERNAL_TRACE_CAP / ETERNAL_JOURNAL environment
+/// variables to the global tracer and journal. Idempotent; benches call it
+/// at startup so observability can be toggled without recompiling.
+void configure_from_env();
+
+}  // namespace eternal::obs

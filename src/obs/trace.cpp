@@ -1,0 +1,140 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace eternal::obs {
+
+const char* to_string(SpanEvent e) {
+  switch (e) {
+    case SpanEvent::ClientSend: return "client_send";
+    case SpanEvent::ClientRetransmit: return "client_retransmit";
+    case SpanEvent::TotemDeliver: return "totem_deliver";
+    case SpanEvent::ExecStart: return "exec_start";
+    case SpanEvent::ExecEnd: return "exec_end";
+    case SpanEvent::ReplySend: return "reply_send";
+    case SpanEvent::ReplyDeliver: return "reply_deliver";
+    case SpanEvent::DuplicateDropped: return "duplicate_dropped";
+    case SpanEvent::DuplicateReplyResent: return "duplicate_reply_resent";
+    case SpanEvent::SendSuppressed: return "send_suppressed";
+    case SpanEvent::ResponseSuppressed: return "response_suppressed";
+    case SpanEvent::StateUpdateApplied: return "state_update_applied";
+    case SpanEvent::FulfillmentRecorded: return "fulfillment_recorded";
+    case SpanEvent::FulfillmentReplayed: return "fulfillment_replayed";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : cap_(capacity ? capacity : 1) {
+  ring_.reserve(cap_);
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  cap_ = capacity ? capacity : 1;
+  clear();
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  ring_.reserve(cap_);
+  next_ = 0;
+  total_ = 0;
+}
+
+void Tracer::record(std::uint64_t time, std::uint32_t node, const OpRef& op,
+                    SpanEvent event, std::string detail) {
+  if (!enabled_) return;
+  TraceRecord rec{time, node, op, event, std::move(detail)};
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[next_] = std::move(rec);
+  }
+  next_ = (next_ + 1) % cap_;
+  ++total_;
+}
+
+std::size_t Tracer::size() const noexcept { return ring_.size(); }
+
+std::uint64_t Tracer::dropped() const noexcept {
+  return total_ - ring_.size();
+}
+
+std::vector<TraceRecord> Tracer::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < cap_) {
+    out = ring_;
+  } else {
+    // next_ points at the oldest record once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::vector<TraceRecord> Tracer::records_for(const OpRef& op) const {
+  std::vector<TraceRecord> out;
+  for (const TraceRecord& r : records()) {
+    if (r.op == op) out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<OpRef> Tracer::last_completed_op() const {
+  const std::vector<TraceRecord> all = records();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (it->event == SpanEvent::ReplyDeliver) return it->op;
+  }
+  return std::nullopt;
+}
+
+namespace {
+void format_record(std::ostringstream& os, const TraceRecord& r) {
+  os << '[' << r.time << "] node=" << r.node << ' ' << to_string(r.event)
+     << ' ' << r.op.str();
+  if (!r.detail.empty()) os << ' ' << r.detail;
+  os << '\n';
+}
+}  // namespace
+
+std::string Tracer::dump_text() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records()) format_record(os, r);
+  return os.str();
+}
+
+std::string Tracer::dump_text(const OpRef& op) const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records_for(op)) format_record(os, r);
+  return os.str();
+}
+
+std::string Tracer::dump_json() const {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const TraceRecord& r : records()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"time\":" << r.time << ",\"node\":" << r.node << ",\"op\":\""
+       << r.op.str() << "\",\"event\":\"" << to_string(r.event)
+       << "\",\"detail\":\"";
+    for (char ch : r.detail) {
+      if (ch == '"' || ch == '\\') os << '\\';
+      os << ch;
+    }
+    os << "\"}";
+  }
+  os << ']';
+  return os.str();
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace eternal::obs

@@ -1,0 +1,108 @@
+// Operation-lifecycle tracing.
+//
+// A trace is a sequence of timestamped span events keyed by the paper's
+// unique operation identifiers (parent total-order position + per-parent
+// operation sequence — see rep/ids.hpp). Every layer that touches an
+// invocation appends an event: the client stamps the send, the engine stamps
+// the totally-ordered (Totem) delivery, execution start/end, the reply send
+// and delivery, and every duplicate-suppression decision. Because the
+// identifier is identical at every replica, the events recorded on all
+// processors interleave into one cross-layer timeline per operation, which
+// is how a failed or slow invocation is reconstructed after the fact.
+//
+// The sink is a fixed-capacity ring buffer: recording is O(1), the newest
+// records win, and `dropped()` says how much history was overwritten.
+// Tracing is OFF by default; every call site guards with `enabled()` so the
+// disabled cost is a single predictable branch (verified by bench_micro).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace eternal::obs {
+
+/// Layer-neutral mirror of rep::OperationId (obs sits below rep).
+struct OpRef {
+  std::uint64_t parent_epoch = 0;
+  std::uint64_t parent_seq = 0;
+  std::uint64_t op_seq = 0;
+
+  bool operator==(const OpRef&) const = default;
+  std::string str() const {
+    return std::to_string(parent_epoch) + ":" + std::to_string(parent_seq) +
+           "/" + std::to_string(op_seq);
+  }
+};
+
+enum class SpanEvent : std::uint8_t {
+  ClientSend,            // client stub multicast the invocation
+  ClientRetransmit,      // client retried under the same identifier
+  TotemDeliver,          // envelope delivered in total order at a node
+  ExecStart,             // replica began executing
+  ExecEnd,               // execution finished (reply logged)
+  ReplySend,             // response queued/multicast toward the client
+  ReplyDeliver,          // response reached the waiting client
+  DuplicateDropped,      // receiver-side: copy of an in-progress operation
+  DuplicateReplyResent,  // receiver-side: completed op, logged reply resent
+  SendSuppressed,        // sender-side: sibling's invocation copy won
+  ResponseSuppressed,    // sender-side: sibling's response copy won
+  StateUpdateApplied,    // passive backup applied the postimage
+  FulfillmentRecorded,   // secondary component queued the op for remerge
+  FulfillmentReplayed,   // queued op re-invoked after remerge
+};
+
+const char* to_string(SpanEvent e);
+
+struct TraceRecord {
+  std::uint64_t time = 0;  // simulated microseconds
+  std::uint32_t node = 0;  // processor that recorded the event
+  OpRef op;
+  SpanEvent event = SpanEvent::ClientSend;
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 8192);
+
+  bool enabled() const noexcept { return enabled_; }
+  void enable(bool on = true) noexcept { enabled_ = on; }
+
+  /// Drops all records; capacity must be > 0.
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+  void record(std::uint64_t time, std::uint32_t node, const OpRef& op,
+              SpanEvent event, std::string detail = {});
+
+  std::size_t size() const noexcept;
+  std::uint64_t recorded() const noexcept { return total_; }
+  std::uint64_t dropped() const noexcept;
+
+  /// Records in recording order (oldest surviving first).
+  std::vector<TraceRecord> records() const;
+  std::vector<TraceRecord> records_for(const OpRef& op) const;
+  /// The operation of the newest ReplyDeliver record — i.e. the most recent
+  /// invocation whose full lifecycle is likely still in the buffer.
+  std::optional<OpRef> last_completed_op() const;
+
+  /// One line per record: `[time] node=N event op detail`.
+  std::string dump_text() const;
+  std::string dump_text(const OpRef& op) const;
+  std::string dump_json() const;
+
+  /// The process-wide default tracer all layers record into.
+  static Tracer& global();
+
+ private:
+  bool enabled_ = false;
+  std::size_t cap_;
+  std::size_t next_ = 0;   // ring write index
+  std::uint64_t total_ = 0;
+  std::vector<TraceRecord> ring_;
+};
+
+}  // namespace eternal::obs

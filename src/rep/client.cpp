@@ -3,7 +3,13 @@
 namespace eternal::rep {
 
 Client::Client(Engine& engine, std::string name)
-    : engine_(engine), reply_group_(std::move(name)) {}
+    : engine_(engine),
+      reply_group_(std::move(name)),
+      rtt_us_(obs::Registry::global().histogram(
+          obs::node_metric("client", "rtt_us", engine.id()),
+          /*lo=*/0.0, /*hi=*/200000.0, /*buckets=*/40)) {
+  rtt_us_.reset();
+}
 
 Client::~Client() {
   // Retry timers capture `this`; silence them before it dangles.
@@ -41,6 +47,14 @@ orb::Future<cdr::Bytes> Client::invoke(const std::string& group,
   env.timestamp = engine_.simulation().now();
   env.giop = giop::encode_request(hdr, args);
 
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.record(env.timestamp, engine_.id(),
+                  obs::OpRef{op_id.parent.epoch, op_id.parent.seq,
+                             op_id.op_seq},
+                  obs::SpanEvent::ClientSend, "group=" + group + " op=" + op);
+  }
+
   auto inner = engine_.expect_reply(reply_group_, op_id);
   orb::Future<cdr::Bytes> outer;
 
@@ -49,13 +63,16 @@ orb::Future<cdr::Bytes> Client::invoke(const std::string& group,
   outstanding_.emplace(op_id, std::move(out));
   retransmit_arm(op_id);
 
-  inner.then([this, op_id, outer](
+  const sim::Time sent_at = env.timestamp;
+  inner.then([this, op_id, outer, sent_at](
                  orb::Future<cdr::Bytes>::State& st) mutable {
     auto it = outstanding_.find(op_id);
     if (it != outstanding_.end()) {
       it->second.retry.cancel();
       outstanding_.erase(it);
     }
+    rtt_us_.observe(
+        static_cast<double>(engine_.simulation().now() - sent_at));
     if (st.error) {
       outer.reject(st.error);
     } else {
@@ -76,6 +93,12 @@ void Client::retransmit_arm(const OperationId& op) {
         if (oit == outstanding_.end()) return;
         // Same operation identifier: the server either answers from its
         // reply log or is executing the first copy — never twice.
+        auto& tracer = obs::Tracer::global();
+        if (tracer.enabled()) {
+          tracer.record(engine_.simulation().now(), engine_.id(),
+                        obs::OpRef{op.parent.epoch, op.parent.seq, op.op_seq},
+                        obs::SpanEvent::ClientRetransmit, "");
+        }
         engine_.send_invocation(oit->second.env, /*rank=*/0);
         retransmit_arm(op);
       });

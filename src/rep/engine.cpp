@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/journal.hpp"
+
 namespace eternal::rep {
 
 namespace {
@@ -20,6 +22,59 @@ std::vector<NodeId> intersect(const std::vector<NodeId>& a,
   return out;
 }
 }  // namespace
+
+EngineCounters::EngineCounters(obs::Registry& reg, NodeId node)
+    : invocations_executed(
+          reg.counter(obs::node_metric("engine", "invocations_executed", node))),
+      duplicate_invocations_dropped(reg.counter(
+          obs::node_metric("engine", "duplicate_invocations_dropped", node))),
+      duplicate_replies_resent(reg.counter(
+          obs::node_metric("engine", "duplicate_replies_resent", node))),
+      sends_suppressed(
+          reg.counter(obs::node_metric("engine", "sends_suppressed", node))),
+      responses_suppressed(reg.counter(
+          obs::node_metric("engine", "responses_suppressed", node))),
+      state_updates_applied(reg.counter(
+          obs::node_metric("engine", "state_updates_applied", node))),
+      snapshots_served(
+          reg.counter(obs::node_metric("engine", "snapshots_served", node))),
+      snapshots_applied(
+          reg.counter(obs::node_metric("engine", "snapshots_applied", node))),
+      failovers(reg.counter(obs::node_metric("engine", "failovers", node))),
+      fulfillment_recorded(reg.counter(
+          obs::node_metric("engine", "fulfillment_recorded", node))),
+      fulfillment_replayed(reg.counter(
+          obs::node_metric("engine", "fulfillment_replayed", node))) {}
+
+void EngineCounters::reset() noexcept {
+  invocations_executed.reset();
+  duplicate_invocations_dropped.reset();
+  duplicate_replies_resent.reset();
+  sends_suppressed.reset();
+  responses_suppressed.reset();
+  state_updates_applied.reset();
+  snapshots_served.reset();
+  snapshots_applied.reset();
+  failovers.reset();
+  fulfillment_recorded.reset();
+  fulfillment_replayed.reset();
+}
+
+EngineStats EngineCounters::snapshot() const noexcept {
+  EngineStats s;
+  s.invocations_executed = invocations_executed.value();
+  s.duplicate_invocations_dropped = duplicate_invocations_dropped.value();
+  s.duplicate_replies_resent = duplicate_replies_resent.value();
+  s.sends_suppressed = sends_suppressed.value();
+  s.responses_suppressed = responses_suppressed.value();
+  s.state_updates_applied = state_updates_applied.value();
+  s.snapshots_served = snapshots_served.value();
+  s.snapshots_applied = snapshots_applied.value();
+  s.failovers = failovers.value();
+  s.fulfillment_recorded = fulfillment_recorded.value();
+  s.fulfillment_replayed = fulfillment_replayed.value();
+  return s;
+}
 
 std::string to_string(Style s) {
   switch (s) {
@@ -85,11 +140,20 @@ class ExecContext final : public orb::InvokerContext {
 
 Engine::Engine(sim::Simulation& sim, totem::GroupLayer& groups,
                EngineParams params)
-    : sim_(sim), groups_(groups), params_(params) {
+    : sim_(sim), groups_(groups), params_(params),
+      counters_(obs::Registry::global(), groups.id()),
+      tracer_(obs::Tracer::global()) {
+  counters_.reset();
   groups_.subscribe_all(
       [this](const totem::GroupMessage& m) { on_message(m); });
   groups_.set_group_view_handler(
       [this](const totem::GroupView& v) { on_group_view(v); });
+}
+
+void Engine::journal(obs::EventKind kind, std::string subject,
+                     std::string detail) {
+  obs::Journal::global().emit(sim_.now(), id(), kind, std::move(subject),
+                              std::move(detail));
 }
 
 Engine::~Engine() = default;
@@ -235,7 +299,11 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
     if (it != pending_invocation_sends_.end()) {
       it->second.timer.cancel();
       pending_invocation_sends_.erase(it);
-      ++stats_.sends_suppressed;
+      counters_.sends_suppressed.inc();
+      if (tracing()) {
+        trace(env.op_id, obs::SpanEvent::SendSuppressed,
+              "sibling=" + std::to_string(sender));
+      }
     }
   }
   if (env.kind == Kind::Response && sender != id()) {
@@ -243,8 +311,20 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
     if (it != pending_response_sends_.end()) {
       it->second.timer.cancel();
       pending_response_sends_.erase(it);
-      ++stats_.responses_suppressed;
+      counters_.responses_suppressed.inc();
+      if (tracing()) {
+        trace(env.op_id, obs::SpanEvent::ResponseSuppressed,
+              "sibling=" + std::to_string(sender));
+      }
     }
+  }
+
+  // The totem-layer timestamp of this invocation's delivery in total order;
+  // one record per (node, carrier), keyed by the operation identifier.
+  if (tracing() && env.kind == Kind::Invocation) {
+    trace(env.op_id, obs::SpanEvent::TotemDeliver,
+          "carrier=" + carrier.str() + " from=" + std::to_string(sender) +
+              " target=" + env.target_group);
   }
 
   if (env.kind == Kind::Response) {
@@ -299,12 +379,20 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
     // A duplicate of a completed operation (client retry or reinvocation by
     // a new primary): do not re-execute — retransmit the logged reply.
     if (!g.replaying_buffer) resend_logged_reply(g, env);
-    ++stats_.duplicate_replies_resent;
+    counters_.duplicate_replies_resent.inc();
+    if (tracing()) {
+      trace(env.op_id, obs::SpanEvent::DuplicateReplyResent,
+            "group=" + g.cfg.name);
+    }
     return;
   }
   if (g.known_ops.count(env.op_id)) {
     // Already logged/executing; the reply will go out when it completes.
-    ++stats_.duplicate_invocations_dropped;
+    counters_.duplicate_invocations_dropped.inc();
+    if (tracing()) {
+      trace(env.op_id, obs::SpanEvent::DuplicateDropped,
+            "group=" + g.cfg.name);
+    }
     return;
   }
   g.known_ops.insert(env.op_id);
@@ -366,6 +454,10 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
   ex.read_only = g.replica->is_read_only(ex.op_name);
   ex.ctx = std::make_unique<ExecContext>(*this, g.cfg.name, ex,
                                          g.primary_component);
+  if (tracing()) {
+    trace(env.op_id, obs::SpanEvent::ExecStart,
+          "group=" + g.cfg.name + " op=" + ex.op_name);
+  }
 
   g.running.emplace(env.op_id, std::move(exec));
 
@@ -415,7 +507,12 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     reply = orb::make_success_reply(request_id, ex.out.data());
   }
 
-  ++stats_.invocations_executed;
+  counters_.invocations_executed.inc();
+  if (tracing()) {
+    trace(ex.op_id, obs::SpanEvent::ExecEnd,
+          "group=" + g.cfg.name + " op=" + ex.op_name +
+              (failed ? " failed" : ""));
+  }
   log_reply(g, ex.op_id, reply);
 
   const bool mutating = !failed && !ex.read_only;
@@ -442,7 +539,11 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
   // secondary component (and this is not itself a replay).
   if (mutating && !g.primary_component && !ex.invocation.fulfillment) {
     g.fulfillment_queue.push_back(ex.invocation);
-    ++stats_.fulfillment_recorded;
+    counters_.fulfillment_recorded.inc();
+    if (tracing()) {
+      trace(ex.op_id, obs::SpanEvent::FulfillmentRecorded,
+            "group=" + g.cfg.name);
+    }
   }
 
   // Respond. Active replicas all respond (staggered; duplicates are
@@ -457,6 +558,10 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     resp.giop = reply;
     const std::uint32_t rank =
         g.cfg.style == Style::Active ? my_rank(g) : 0;
+    if (tracing()) {
+      trace(ex.op_id, obs::SpanEvent::ReplySend,
+            "to=" + resp.target_group + " rank=" + std::to_string(rank));
+    }
     queue_send(std::move(resp), rank, /*is_response=*/true);
   }
 
@@ -539,6 +644,11 @@ void Engine::handle_response(const Envelope& env, NodeId sender) {
   if (it == expected_replies_.end()) return;
   auto oit = it->second.find(env.op_id);
   if (oit == it->second.end()) return;  // duplicate response: ignore
+  if (tracing()) {
+    trace(env.op_id, obs::SpanEvent::ReplyDeliver,
+          "reply_group=" + env.target_group + " from=" +
+              std::to_string(sender));
+  }
   orb::Future<cdr::Bytes> future = oit->second;
   it->second.erase(oit);
   if (it->second.empty()) expected_replies_.erase(it);
@@ -638,7 +748,12 @@ void Engine::handle_state_update(LocalGroup& g, const Envelope& env) {
     cdr::Decoder dec(env.update);
     g.replica->apply_update(env.operation, dec);
     g.state_version = env.state_version;
-    ++stats_.state_updates_applied;
+    counters_.state_updates_applied.inc();
+    if (tracing()) {
+      trace(env.op_id, obs::SpanEvent::StateUpdateApplied,
+            "group=" + g.cfg.name + " version=" +
+                std::to_string(env.state_version));
+    }
   } else if (g.cfg.style == Style::ColdPassive) {
     if (g.pending_updates.emplace(env.op_id, env.update).second) {
       g.pending_update_order.push_back(env.op_id);
@@ -661,6 +776,12 @@ void Engine::on_group_view(const totem::GroupView& v) {
   const std::vector<NodeId> old_members = g.members;
   const bool was_primary = i_am_primary(g);
   g.members = v.members;
+  if (g.members != old_members) {
+    journal(obs::EventKind::GroupViewInstalled, v.group,
+            "members=" + obs::format_members(v.members) +
+                " was=" + obs::format_members(old_members) +
+                " ring=" + v.ring.str());
+  }
 
   // Prune synced/history knowledge to the new membership.
   auto prune = [&v](std::set<NodeId>& nodes) {
@@ -705,6 +826,9 @@ void Engine::on_group_view(const totem::GroupView& v) {
       // component discard their state (after queueing fulfillment
       // operations) and re-acquire it from the primary component.
       if (!g.primary_component && g.sync == SyncState::Synced) {
+        journal(obs::EventKind::RemergeDetected, v.group,
+                "rejoining primary component, fulfillment_backlog=" +
+                    std::to_string(g.fulfillment_queue.size()));
         begin_resync(g);
       } else if (g.sync == SyncState::Synced) {
         g.synced_set.insert(id());
@@ -727,7 +851,13 @@ void Engine::on_group_view(const totem::GroupView& v) {
       } else {
         primary_now = false;
       }
+      const bool before = g.primary_component;
       g.primary_component = g.primary_component && primary_now;
+      if (before && !g.primary_component) {
+        journal(obs::EventKind::PartitionSecondary, v.group,
+                "survivors=" + obs::format_members(g.members) +
+                    " of=" + obs::format_members(old_members));
+      }
     }
   }
 
@@ -742,7 +872,11 @@ void Engine::check_promotion(LocalGroup& g, bool was_primary) {
   if (was_primary || !i_am_primary(g) || g.cfg.style == Style::Active) {
     return;
   }
-  ++stats_.failovers;
+  counters_.failovers.inc();
+  journal(obs::EventKind::Failover, g.cfg.name,
+          "style=" + to_string(g.cfg.style) + " logged_ops=" +
+              std::to_string(g.invocation_log.size()) + " pending_updates=" +
+              std::to_string(g.pending_update_order.size()));
   if (g.cfg.style == Style::ColdPassive) {
     std::size_t backlog_bytes = 0;
     for (const OperationId& op : g.pending_update_order) {
@@ -753,7 +887,7 @@ void Engine::check_promotion(LocalGroup& g, bool was_primary) {
       g.replica->apply_update(mit->second.first, dec);
       g.state_version = std::max(g.state_version, mit->second.second);
       backlog_bytes += uit->second.size();
-      ++stats_.state_updates_applied;
+      counters_.state_updates_applied.inc();
     }
     g.pending_updates.clear();
     g.pending_update_order.clear();
@@ -781,6 +915,9 @@ void Engine::check_promotion(LocalGroup& g, bool was_primary) {
 }
 
 void Engine::begin_resync(LocalGroup& g) {
+  journal(obs::EventKind::StateTransferBegin, g.cfg.name,
+          "round=" + std::to_string(g.join_round + 1) +
+              (g.had_state ? " resync" : " bootstrap"));
   g.sync = SyncState::Unsynced;
   ++g.join_round;
   g.buffered.clear();
@@ -844,6 +981,10 @@ void Engine::maybe_self_promote(LocalGroup& g) {
     }
   }
   if (!any_history || leader != id()) return;
+  journal(obs::EventKind::SelfPromotion, g.cfg.name,
+          "members=" + obs::format_members(g.members) +
+              " dropped_fulfillment=" +
+              std::to_string(g.fulfillment_queue.size()));
   g.join_retry_timer.cancel();
   g.sync = SyncState::Synced;
   g.had_state = true;
@@ -861,7 +1002,11 @@ void Engine::replay_fulfillment(LocalGroup& g) {
     g.fulfillment_queue.pop_front();
     env.fulfillment = true;
     env.op_id.op_seq += kFulfillSeqOffset;
-    ++stats_.fulfillment_replayed;
+    counters_.fulfillment_replayed.inc();
+    if (tracing()) {
+      trace(env.op_id, obs::SpanEvent::FulfillmentReplayed,
+            "group=" + g.cfg.name);
+    }
     send_invocation(std::move(env), rank);
   }
 }
@@ -916,7 +1061,7 @@ void Engine::serve_snapshot(LocalGroup& g, std::uint32_t joiner,
   // state is identical at this point, and processing never stops — the
   // paper's "transfer while operating" requirement.
   Bytes blob = encode_checkpoint(g, nullptr);
-  ++stats_.snapshots_served;
+  counters_.snapshots_served.inc();
   const std::uint32_t chunk = params_.snapshot_chunk_bytes;
   const std::uint32_t count =
       std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
@@ -950,11 +1095,15 @@ void Engine::handle_snapshot(LocalGroup& g, const Envelope& env) {
   }
   g.snapshot_chunks.clear();
   apply_checkpoint(g, blob);
-  ++stats_.snapshots_applied;
+  counters_.snapshots_applied.inc();
   complete_sync(g);
 }
 
 void Engine::complete_sync(LocalGroup& g) {
+  journal(obs::EventKind::StateTransferEnd, g.cfg.name,
+          "version=" + std::to_string(g.state_version) + " buffered=" +
+              std::to_string(g.buffered.size()) + " fulfillment_backlog=" +
+              std::to_string(g.fulfillment_queue.size()));
   const bool was_primary = i_am_primary(g);
   g.join_retry_timer.cancel();
   g.sync = SyncState::Synced;

@@ -35,6 +35,9 @@
 #include <vector>
 
 #include "giop/giop.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orb/adapter.hpp"
 #include "rep/replica.hpp"
 #include "rep/wire.hpp"
@@ -76,6 +79,9 @@ struct EngineParams {
   sim::Time update_apply_us_per_kib = 0;
 };
 
+/// Point-in-time snapshot of one engine's counters. The live values are
+/// `engine.*{node=N}` counters in the global obs::Registry — this struct is
+/// the read-out convenience the tests and benches use (Engine::stats()).
 struct EngineStats {
   std::uint64_t invocations_executed = 0;
   std::uint64_t duplicate_invocations_dropped = 0;
@@ -88,6 +94,26 @@ struct EngineStats {
   std::uint64_t failovers = 0;              // this node became primary
   std::uint64_t fulfillment_recorded = 0;
   std::uint64_t fulfillment_replayed = 0;
+};
+
+/// Stable registry handles for the engine's hot-path counters, zeroed at
+/// engine construction so each simulated cluster starts fresh.
+struct EngineCounters {
+  obs::Counter& invocations_executed;
+  obs::Counter& duplicate_invocations_dropped;
+  obs::Counter& duplicate_replies_resent;
+  obs::Counter& sends_suppressed;
+  obs::Counter& responses_suppressed;
+  obs::Counter& state_updates_applied;
+  obs::Counter& snapshots_served;
+  obs::Counter& snapshots_applied;
+  obs::Counter& failovers;
+  obs::Counter& fulfillment_recorded;
+  obs::Counter& fulfillment_replayed;
+
+  EngineCounters(obs::Registry& reg, NodeId node);
+  void reset() noexcept;
+  EngineStats snapshot() const noexcept;
 };
 
 /// Per-tier checkpoint sizes, reported by the E9 bench.
@@ -114,8 +140,7 @@ class Engine {
   sim::Simulation& simulation() { return sim_; }
   totem::GroupLayer& group_layer() { return groups_; }
   const EngineParams& params() const { return params_; }
-  EngineStats& stats() { return stats_; }
-  const EngineStats& stats() const { return stats_; }
+  EngineStats stats() const { return counters_.snapshot(); }
 
   /// Host a replica of an object group on this processor. `initial` marks
   /// the bootstrap replicas that start with authoritative (empty) state;
@@ -278,10 +303,23 @@ class Engine {
   void log_reply(LocalGroup& g, const OperationId& op, Bytes reply);
   void send_envelope(const std::string& totem_group, const Envelope& env);
 
+  // --- observability ---
+  /// Mirror an OperationId into the layer-neutral trace key.
+  static obs::OpRef op_ref(const OperationId& op) noexcept {
+    return obs::OpRef{op.parent.epoch, op.parent.seq, op.op_seq};
+  }
+  /// Single-branch guard: trace detail strings are only built when enabled.
+  bool tracing() const noexcept { return tracer_.enabled(); }
+  void trace(const OperationId& op, obs::SpanEvent ev, std::string detail) {
+    tracer_.record(sim_.now(), id(), op_ref(op), ev, std::move(detail));
+  }
+  void journal(obs::EventKind kind, std::string subject, std::string detail);
+
   sim::Simulation& sim_;
   totem::GroupLayer& groups_;
   EngineParams params_;
-  EngineStats stats_;
+  EngineCounters counters_;
+  obs::Tracer& tracer_;
 
   std::map<std::string, LocalGroup> local_;
   /// reply_group -> (op -> future) for in-flight outbound operations.
@@ -324,6 +362,7 @@ class Client {
 
   Engine& engine_;
   std::string reply_group_;
+  obs::Histogram& rtt_us_;  // client-observed end-to-end latency
   std::uint64_t next_op_ = 1;
   sim::Time retry_interval_ = 100 * sim::kMillisecond;
   struct Outstanding {

@@ -4,7 +4,15 @@
 
 namespace eternal::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {
+Simulation::Simulation(std::uint64_t seed)
+    : rng_(seed),
+      events_fired_(obs::Registry::global().counter("sim.events_fired")),
+      timers_scheduled_(
+          obs::Registry::global().counter("sim.timers_scheduled")) {
+  // A fresh simulation starts a fresh experiment: zero its registry slots so
+  // sequential runs in one process (tests, bench sweeps) don't accumulate.
+  events_fired_.reset();
+  timers_scheduled_.reset();
   util::Logger::instance().set_time_source([this] { return now_; });
 }
 
@@ -19,6 +27,7 @@ TimerHandle Simulation::at(Time t, std::function<void()> fn) {
   ev->seq = next_seq_++;
   ev->fn = std::move(fn);
   queue_.push(ev);
+  timers_scheduled_.inc();
   return TimerHandle(ev);
 }
 
@@ -36,6 +45,7 @@ bool Simulation::step() {
     // does not mutate the object the queue still references.
     auto fn = std::move(ev->fn);
     ev->fired = true;
+    events_fired_.inc();
     fn();
     return true;
   }

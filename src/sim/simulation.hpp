@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 #include "util/prng.hpp"
 
@@ -98,6 +99,8 @@ class Simulation {
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = 200'000'000;
   util::Xoshiro256 rng_;
+  obs::Counter& events_fired_;     // registry: sim.events_fired
+  obs::Counter& timers_scheduled_; // registry: sim.timers_scheduled
   std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
                       Later>
       queue_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/journal.hpp"
+
 namespace eternal::totem {
 
 namespace {
@@ -18,8 +20,36 @@ std::vector<NodeId> intersect(const std::vector<NodeId>& a,
 }
 }  // namespace
 
+NodeCounters::NodeCounters(obs::Registry& reg, NodeId id)
+    : broadcasts(reg.counter(obs::node_metric("totem", "broadcasts", id))),
+      delivered(reg.counter(obs::node_metric("totem", "delivered", id))),
+      retransmissions(
+          reg.counter(obs::node_metric("totem", "retransmissions", id))),
+      token_visits(reg.counter(obs::node_metric("totem", "token_visits", id))),
+      token_losses(reg.counter(obs::node_metric("totem", "token_losses", id))),
+      views_installed(
+          reg.counter(obs::node_metric("totem", "views_installed", id))) {}
+
+void NodeCounters::reset() noexcept {
+  broadcasts.reset();
+  delivered.reset();
+  retransmissions.reset();
+  token_visits.reset();
+  token_losses.reset();
+  views_installed.reset();
+}
+
+NodeStats NodeCounters::snapshot() const noexcept {
+  return NodeStats{broadcasts.value(),   delivered.value(),
+                   retransmissions.value(), token_visits.value(),
+                   token_losses.value(), views_installed.value()};
+}
+
 Node::Node(sim::Simulation& sim, sim::Network& net, NodeId id, Params params)
-    : sim_(sim), net_(net), id_(id), params_(params) {}
+    : sim_(sim), net_(net), id_(id), params_(params),
+      counters_(obs::Registry::global(), id) {
+  counters_.reset();
+}
 
 void Node::start() {
   if (state_ != State::Down) return;
@@ -154,7 +184,7 @@ void Node::dispatch(const DataMsg& d, bool transitional) {
     }
     return;
   }
-  ++stats_.delivered;
+  counters_.delivered.inc();
   if (deliver_) {
     Delivered ev;
     ev.ring = d.ring;
@@ -180,9 +210,12 @@ sim::Time Node::token_loss_timeout() const {
 void Node::arm_token_loss() {
   token_loss_timer_ = sim_.after(token_loss_timeout(), [this] {
     if (state_ != State::Operational && state_ != State::Recovery) return;
-    ++stats_.token_losses;
+    counters_.token_losses.inc();
     ETERNAL_DEBUG("totem", "node ", id_, " token loss on ring ",
                   cur_.id.str());
+    obs::Journal::global().emit(sim_.now(), id_, obs::EventKind::TokenLoss,
+                                cur_.id.str(),
+                                "members=" + obs::format_members(cur_.members));
     enter_gather();
   });
 }
@@ -198,7 +231,7 @@ void Node::handle_token(TokenMsg t) {
   if (!(t.ring == cur_.id) || t.dest != id_) return;
   if (t.token_id <= last_token_id_) return;  // duplicate/stale token
   last_token_id_ = t.token_id;
-  ++stats_.token_visits;
+  counters_.token_visits.inc();
   token_loss_timer_.cancel();
   token_retransmit_timer_.cancel();
 
@@ -220,7 +253,7 @@ void Node::handle_token(TokenMsg t) {
       pkt.kind = MsgKind::Data;
       pkt.data = it->second;
       multicast(pkt);
-      ++stats_.retransmissions;
+      counters_.retransmissions.inc();
     } else {
       still_missing.push_back(s);
     }
@@ -238,7 +271,7 @@ void Node::handle_token(TokenMsg t) {
       pkt.kind = MsgKind::Data;
       pkt.data = d;
       multicast(pkt);
-      ++stats_.broadcasts;
+      counters_.broadcasts.inc();
       --budget;
       store_data(d);  // self-delivery
     }
@@ -596,7 +629,10 @@ void Node::complete_recovery() {
   }
   commit_timer_.cancel();
   state_ = State::Operational;
-  ++stats_.views_installed;
+  counters_.views_installed.inc();
+  obs::Journal::global().emit(sim_.now(), id_,
+                              obs::EventKind::RingViewInstalled, cur_.id.str(),
+                              "members=" + obs::format_members(cur_.members));
   if (view_) {
     view_(ViewEvent{ViewEvent::Kind::Transitional, cur_.id, trans_members});
     view_(ViewEvent{ViewEvent::Kind::Regular, cur_.id, cur_.members});
@@ -637,6 +673,10 @@ void Node::handle_announce(const RingAnnounceMsg& a) {
   // (or a new node appeared). Re-gather to form a joint ring.
   ETERNAL_DEBUG("totem", "node ", id_, " sees foreign ring ", a.ring.str(),
                 " from ", a.sender);
+  obs::Journal::global().emit(sim_.now(), id_, obs::EventKind::RemergeDetected,
+                              a.ring.str(),
+                              "sender=" + std::to_string(a.sender) +
+                                  " my_ring=" + cur_.id.str());
   enter_gather();
 }
 

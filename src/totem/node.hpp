@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/simulation.hpp"
@@ -80,6 +81,9 @@ struct ViewEvent {
   std::vector<NodeId> members;  // sorted
 };
 
+/// Point-in-time snapshot of one node's protocol counters. The live values
+/// are `totem.*{node=N}` counters in the global obs::Registry; this struct
+/// is the read-out convenience the tests and benches use.
 struct NodeStats {
   std::uint64_t broadcasts = 0;
   std::uint64_t delivered = 0;
@@ -87,6 +91,21 @@ struct NodeStats {
   std::uint64_t token_visits = 0;
   std::uint64_t token_losses = 0;
   std::uint64_t views_installed = 0;
+};
+
+/// Stable handles into the registry for the node's hot-path counters,
+/// zeroed at node construction so each simulated cluster starts fresh.
+struct NodeCounters {
+  obs::Counter& broadcasts;
+  obs::Counter& delivered;
+  obs::Counter& retransmissions;
+  obs::Counter& token_visits;
+  obs::Counter& token_losses;
+  obs::Counter& views_installed;
+
+  NodeCounters(obs::Registry& reg, NodeId id);
+  void reset() noexcept;
+  NodeStats snapshot() const noexcept;
 };
 
 class Node {
@@ -123,7 +142,7 @@ class Node {
   bool operational() const noexcept { return state_ == State::Operational; }
   RingId ring_id() const noexcept { return cur_.id; }
   const std::vector<NodeId>& members() const noexcept { return cur_.members; }
-  const NodeStats& stats() const noexcept { return stats_; }
+  NodeStats stats() const noexcept { return counters_.snapshot(); }
   std::size_t backlog() const noexcept {
     return pending_.size() + recovery_pending_.size();
   }
@@ -222,7 +241,7 @@ class Node {
 
   DeliverFn deliver_;
   ViewFn view_;
-  NodeStats stats_;
+  NodeCounters counters_;
 };
 
 /// Group tag Node uses internally to mark end-of-recovery control messages.

@@ -3,11 +3,18 @@
 // The simulator installs a time source so log lines carry *simulated* time,
 // which is what makes traces of a distributed execution readable. Logging is
 // off by default (Level::Off) so tests and benches stay quiet; integration
-// debugging flips the level.
+// debugging flips the level — programmatically, or via the environment:
+//
+//   ETERNAL_LOG_LEVEL=info               everything at info and above
+//   ETERNAL_LOG_LEVEL=warn,totem=debug   per-component overrides
+//
+// The spec is `<level>[,<component>=<level>]...` with levels trace, debug,
+// info, warn, error, off; it is read once at first Logger use.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -19,9 +26,26 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+  void set_level(LogLevel lvl) noexcept {
+    level_ = lvl;
+    recompute_min();
+  }
   LogLevel level() const noexcept { return level_; }
-  bool enabled(LogLevel lvl) const noexcept { return lvl >= level_; }
+
+  /// Fast gate: true if *any* component could log at `lvl`. Call sites check
+  /// this first so a silent logger costs one comparison; the write path then
+  /// applies the per-component level.
+  bool enabled(LogLevel lvl) const noexcept { return lvl >= min_level_; }
+  /// Effective check for one component: its override, else the default.
+  bool enabled_for(LogLevel lvl, const std::string& component) const noexcept;
+
+  /// Override the level for one component (e.g. "totem", "engine").
+  void set_component_level(const std::string& component, LogLevel lvl);
+  void clear_component_levels();
+
+  /// Parse `<level>[,<component>=<level>]...`. Unknown level names leave the
+  /// logger untouched and return false.
+  bool configure(const std::string& spec);
 
   /// Install a source for timestamps (simulated microseconds). May be empty.
   void set_time_source(std::function<std::uint64_t()> src) {
@@ -31,8 +55,12 @@ class Logger {
   void write(LogLevel lvl, const std::string& component, const std::string& msg);
 
  private:
-  Logger() = default;
+  Logger();  // applies ETERNAL_LOG_LEVEL if set
+  void recompute_min() noexcept;
+
   LogLevel level_ = LogLevel::Off;
+  LogLevel min_level_ = LogLevel::Off;  // min over default + overrides
+  std::map<std::string, LogLevel> component_levels_;
   std::function<std::uint64_t()> time_source_;
 };
 
@@ -48,7 +76,7 @@ void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
 template <typename... Args>
 void log(LogLevel lvl, const std::string& component, const Args&... args) {
   Logger& lg = Logger::instance();
-  if (!lg.enabled(lvl)) return;
+  if (!lg.enabled_for(lvl, component)) return;
   std::ostringstream os;
   detail::format_into(os, args...);
   lg.write(lvl, component, os.str());

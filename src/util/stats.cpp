@@ -59,8 +59,7 @@ double Summary::percentile(double p) const {
 std::string Summary::describe() const {
   std::ostringstream os;
   if (empty()) {
-    os << "n=0";
-    return os.str();
+    return "n=0 (no samples)";
   }
   os << "n=" << count() << " min=" << min() << " mean=" << mean()
      << " p50=" << median() << " p99=" << percentile(99) << " max=" << max();

@@ -14,9 +14,15 @@ namespace eternal::util {
 class Summary {
  public:
   void add(double v);
-  void clear() { samples_.clear(); sorted_ = true; }
+  /// Drop all samples *and* release the backing storage — a cleared Summary
+  /// reused across long bench sweeps must not pin the largest run's memory.
+  void clear() {
+    std::vector<double>().swap(samples_);
+    sorted_ = true;
+  }
 
   std::size_t count() const noexcept { return samples_.size(); }
+  std::size_t capacity() const noexcept { return samples_.capacity(); }
   bool empty() const noexcept { return samples_.empty(); }
   double min() const;
   double max() const;

@@ -1,0 +1,301 @@
+// Tests for the observability subsystem: metrics registry semantics, the
+// operation-lifecycle tracer (including span ordering under active
+// replication's duplicate suppression), and the membership & fault event
+// journal on a scripted partition/remerge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "app/servants.hpp"
+#include "obs/obs.hpp"
+#include "rep/domain.hpp"
+
+namespace eternal::obs {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+using sim::NodeId;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, CounterFindOrCreateReturnsStableHandle) {
+  Registry reg;
+  Counter& a = reg.counter("x.hits");
+  Counter& b = reg.counter("x.hits");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  a.inc(4);
+  EXPECT_EQ(b.value(), 5u);
+  a.reset();
+  EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("x.depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Registry, HistogramBucketsAndMean) {
+  Registry reg;
+  Histogram& h = reg.histogram("x.lat", 0.0, 100.0, 10);
+  for (double v : {5.0, 15.0, 15.0, 95.0}) h.observe(v);
+  h.observe(-1.0);
+  h.observe(1000.0);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), (5.0 + 15.0 + 15.0 + 95.0 - 1.0 + 1000.0) / 6.0);
+  // Shape arguments only matter on first creation.
+  Histogram& same = reg.histogram("x.lat", 0.0, 1.0, 2);
+  EXPECT_EQ(&same, &h);
+}
+
+TEST(Registry, ResetZeroesEverythingButKeepsHandles) {
+  Registry reg;
+  Counter& c = reg.counter("a");
+  Gauge& g = reg.gauge("b");
+  Histogram& h = reg.histogram("c", 0, 10, 2);
+  c.inc();
+  g.set(5);
+  h.observe(3);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Registry, SnapshotExportContainsMetrics) {
+  Registry reg;
+  reg.counter("engine.execs{node=1}").inc(3);
+  reg.gauge("queue.depth").set(-2);
+  reg.histogram("lat", 0, 10, 2).observe(4);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("engine.execs{node=1} 3"), std::string::npos);
+  EXPECT_NE(text.find("queue.depth -2"), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"engine.execs{node=1}\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Registry, NodeMetricNaming) {
+  EXPECT_EQ(node_metric("totem", "broadcasts", 3), "totem.broadcasts{node=3}");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, DisabledRecordIsANoOp) {
+  Tracer t(16);
+  EXPECT_FALSE(t.enabled());
+  t.record(1, 0, OpRef{0, 1, 1}, SpanEvent::ClientSend, "x");
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDropped) {
+  Tracer t(4);
+  t.enable();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.record(i, 0, OpRef{0, 1, i}, SpanEvent::TotemDeliver, "");
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const auto recs = t.records();
+  ASSERT_EQ(recs.size(), 4u);
+  // Oldest surviving first: 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(recs[i].time, 6 + i);
+}
+
+TEST(Tracer, RecordsForAndLastCompletedOp) {
+  Tracer t(64);
+  t.enable();
+  const OpRef a{0, 1, 1}, b{0, 1, 2};
+  t.record(10, 0, a, SpanEvent::ClientSend, "");
+  t.record(20, 1, a, SpanEvent::ExecStart, "");
+  t.record(30, 0, b, SpanEvent::ClientSend, "");
+  t.record(40, 0, a, SpanEvent::ReplyDeliver, "");
+  EXPECT_EQ(t.records_for(a).size(), 3u);
+  EXPECT_EQ(t.records_for(b).size(), 1u);
+  auto last = t.last_completed_op();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(*last, a);
+  const std::string dump = t.dump_text(a);
+  EXPECT_NE(dump.find("client_send"), std::string::npos);
+  EXPECT_NE(dump.find("reply_deliver"), std::string::npos);
+  EXPECT_EQ(dump.find("0:1/2"), std::string::npos);  // b's records filtered
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+TEST(JournalUnit, BoundedAndFilterable) {
+  Journal j(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    j.emit(i, 0, i % 2 == 0 ? EventKind::TokenLoss : EventKind::Failover,
+           "subj", "");
+  }
+  EXPECT_EQ(j.size(), 4u);
+  EXPECT_EQ(j.dropped(), 2u);
+  EXPECT_EQ(j.events(EventKind::TokenLoss).size(), 2u);  // 2 and 4 survive
+  EXPECT_EQ(j.events(EventKind::Failover).size(), 2u);
+  j.enable(false);
+  j.emit(99, 0, EventKind::TokenLoss, "ignored", "");
+  EXPECT_EQ(j.size(), 4u);
+}
+
+TEST(JournalUnit, FormatMembers) {
+  EXPECT_EQ(format_members({1, 2, 5}), "[1, 2, 5]");
+  EXPECT_EQ(format_members({}), "[]");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: trace spans under duplicate suppression, journal on
+// partition/remerge. Mirrors the rep_test cluster scaffolding.
+// ---------------------------------------------------------------------------
+
+struct Cluster {
+  explicit Cluster(std::size_t n, std::uint64_t seed = 1)
+      : sim(seed), net(sim, n), fabric(sim, net, {}), domain(fabric, {}) {
+    fabric.start_all();
+  }
+
+  bool converge(sim::Time timeout = 2 * kSecond) {
+    const bool ok = fabric.run_until_converged(timeout);
+    sim.run_for(300 * kMillisecond);
+    return ok;
+  }
+
+  std::int64_t invoke_i64(NodeId node, const std::string& group,
+                          const std::string& op, std::int64_t arg) {
+    cdr::Encoder enc;
+    enc.put_longlong(arg);
+    cdr::Bytes out =
+        domain.client(node).invoke_blocking(group, op, enc.take());
+    cdr::Decoder dec(out);
+    return dec.get_longlong();
+  }
+
+  sim::Simulation sim;
+  sim::Network net;
+  totem::Fabric fabric;
+  rep::Domain domain;
+};
+
+// The tracer and journal are process-wide; scrub them around each scenario
+// so tests stay order-independent.
+struct EndToEnd : ::testing::Test {
+  void SetUp() override {
+    Tracer::global().clear();
+    Journal::global().clear();
+    Journal::global().enable(true);
+  }
+  void TearDown() override {
+    Tracer::global().enable(false);
+    Tracer::global().clear();
+    Journal::global().clear();
+  }
+};
+
+TEST_F(EndToEnd, TraceSpansOrderedUnderDuplicateSuppression) {
+  Cluster c(4);
+  c.domain.host_on<app::Counter>(rep::GroupConfig{"ctr", rep::Style::Active},
+                                 {0, 1, 2});
+  ASSERT_TRUE(c.converge());
+
+  Tracer::global().enable(true);
+  EXPECT_EQ(c.invoke_i64(3, "ctr", "incr", 5), 5);
+  c.sim.run_for(kSecond);  // let trailing sibling copies route
+  Tracer::global().enable(false);
+
+  auto last = Tracer::global().last_completed_op();
+  ASSERT_TRUE(last.has_value());
+  const auto recs = Tracer::global().records_for(*last);
+  ASSERT_FALSE(recs.empty());
+
+  auto count = [&](SpanEvent e) {
+    return std::count_if(recs.begin(), recs.end(),
+                         [&](const TraceRecord& r) { return r.event == e; });
+  };
+  // The timeline starts at the client and ends with its reply.
+  EXPECT_EQ(recs.front().event, SpanEvent::ClientSend);
+  EXPECT_EQ(count(SpanEvent::ClientSend), 1);
+  EXPECT_EQ(count(SpanEvent::ReplyDeliver), 1);
+  // Active replication: every replica delivered and executed the operation,
+  // and every replica queued a (staggered) response…
+  EXPECT_GE(count(SpanEvent::TotemDeliver), 3);
+  EXPECT_EQ(count(SpanEvent::ExecStart), 3);
+  EXPECT_EQ(count(SpanEvent::ExecEnd), 3);
+  EXPECT_EQ(count(SpanEvent::ReplySend), 3);
+  // …but duplicate suppression cancelled the losers before they multicast.
+  EXPECT_GE(count(SpanEvent::ResponseSuppressed), 1);
+
+  // Simulated timestamps are nondecreasing along the recorded timeline.
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].time, recs[i].time) << "record " << i;
+  }
+  // Suppression tallies in the registry agree with the trace.
+  std::uint64_t suppressed = 0;
+  for (NodeId n : {0u, 1u, 2u}) {
+    suppressed += c.domain.engine(n).stats().responses_suppressed;
+  }
+  EXPECT_GE(suppressed,
+            static_cast<std::uint64_t>(count(SpanEvent::ResponseSuppressed)));
+}
+
+TEST_F(EndToEnd, JournalTellsThePartitionRemergeStory) {
+  Cluster c(4);
+  c.domain.host_on<app::Counter>(rep::GroupConfig{"ctr", rep::Style::Active},
+                                 {0, 1, 3});
+  ASSERT_TRUE(c.converge());
+
+  c.net.set_partitions({{0, 1, 2}, {3}});
+  ASSERT_TRUE(c.converge(5 * kSecond));
+  c.invoke_i64(3, "ctr", "incr", 1);  // secondary component: queued
+  c.net.heal_partitions();
+  ASSERT_TRUE(c.converge(5 * kSecond));
+  c.sim.run_for(3 * kSecond);
+
+  const Journal& j = Journal::global();
+  // The partition shows up as token losses and fresh rings on both sides…
+  EXPECT_FALSE(j.events(EventKind::TokenLoss).empty());
+  EXPECT_FALSE(j.events(EventKind::RingViewInstalled).empty());
+  EXPECT_FALSE(j.events(EventKind::GroupViewInstalled).empty());
+  // …node 3's replica learns it is in a secondary component…
+  const auto secondary = j.events(EventKind::PartitionSecondary);
+  ASSERT_FALSE(secondary.empty());
+  EXPECT_EQ(secondary.front().node, 3u);
+  EXPECT_EQ(secondary.front().subject, "ctr");
+  // …and the heal is detected as a remerge.
+  EXPECT_FALSE(j.events(EventKind::RemergeDetected).empty());
+
+  // The journal reads as one time-ordered story.
+  const auto all = j.events();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].time, all[i].time) << "event " << i;
+  }
+  const std::string dump = j.dump_text();
+  EXPECT_NE(dump.find("token_loss"), std::string::npos);
+  EXPECT_NE(dump.find("partition_secondary"), std::string::npos);
+  EXPECT_NE(dump.find("remerge_detected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eternal::obs

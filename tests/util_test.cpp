@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/hash.hpp"
+#include "util/log.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
 
@@ -112,6 +113,32 @@ TEST(Summary, EmptyThrows) {
   EXPECT_THROW(s.percentile(50), std::logic_error);
 }
 
+TEST(Summary, ClearReleasesCapacity) {
+  Summary s;
+  for (int i = 0; i < 10000; ++i) s.add(i);
+  ASSERT_GT(s.capacity(), 0u);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.capacity(), 0u);
+  // Still usable after the storage swap.
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(Summary, DescribeEmptyAndPopulated) {
+  Summary s;
+  EXPECT_EQ(s.describe(), "n=0 (no samples)");
+  s.add(1.0);
+  s.add(3.0);
+  const std::string d = s.describe();
+  EXPECT_NE(d.find("n=2"), std::string::npos);
+  EXPECT_NE(d.find("min=1"), std::string::npos);
+  EXPECT_NE(d.find("max=3"), std::string::npos);
+  s.clear();
+  EXPECT_EQ(s.describe(), "n=0 (no samples)");
+}
+
 TEST(Summary, AddAfterReadKeepsConsistency) {
   Summary s;
   s.add(10);
@@ -119,6 +146,59 @@ TEST(Summary, AddAfterReadKeepsConsistency) {
   s.add(20);
   EXPECT_DOUBLE_EQ(s.max(), 20.0);
   EXPECT_DOUBLE_EQ(s.min(), 10.0);
+}
+
+// The Logger is a process-wide singleton: each test restores the silent
+// default so the suite stays quiet regardless of ordering.
+struct LoggerSpecTest : ::testing::Test {
+  void TearDown() override {
+    Logger::instance().clear_component_levels();
+    Logger::instance().set_level(LogLevel::Off);
+  }
+};
+
+TEST_F(LoggerSpecTest, ConfigureDefaultLevel) {
+  Logger& lg = Logger::instance();
+  EXPECT_TRUE(lg.configure("info"));
+  EXPECT_EQ(lg.level(), LogLevel::Info);
+  EXPECT_TRUE(lg.enabled(LogLevel::Warn));
+  EXPECT_FALSE(lg.enabled(LogLevel::Debug));
+  EXPECT_TRUE(lg.enabled_for(LogLevel::Info, "totem"));
+}
+
+TEST_F(LoggerSpecTest, ConfigurePerComponentOverrides) {
+  Logger& lg = Logger::instance();
+  EXPECT_TRUE(lg.configure("warn,totem=debug,engine=trace"));
+  EXPECT_EQ(lg.level(), LogLevel::Warn);
+  // Fast gate admits the most verbose override...
+  EXPECT_TRUE(lg.enabled(LogLevel::Trace));
+  // ...and the per-component check applies the right level.
+  EXPECT_TRUE(lg.enabled_for(LogLevel::Debug, "totem"));
+  EXPECT_FALSE(lg.enabled_for(LogLevel::Trace, "totem"));
+  EXPECT_TRUE(lg.enabled_for(LogLevel::Trace, "engine"));
+  EXPECT_FALSE(lg.enabled_for(LogLevel::Info, "ftd"));
+  EXPECT_TRUE(lg.enabled_for(LogLevel::Error, "ftd"));
+}
+
+TEST_F(LoggerSpecTest, ConfigureRejectsBadSpecsUntouched) {
+  Logger& lg = Logger::instance();
+  ASSERT_TRUE(lg.configure("error,totem=info"));
+  EXPECT_FALSE(lg.configure("loud"));               // unknown level
+  EXPECT_FALSE(lg.configure("info,totem=loud"));    // unknown override
+  EXPECT_FALSE(lg.configure("info,=debug"));        // missing component
+  EXPECT_FALSE(lg.configure(""));                   // empty spec
+  EXPECT_FALSE(lg.configure("totem=debug,info"));   // default must lead
+  // A rejected spec leaves the previous configuration in place.
+  EXPECT_EQ(lg.level(), LogLevel::Error);
+  EXPECT_TRUE(lg.enabled_for(LogLevel::Info, "totem"));
+}
+
+TEST_F(LoggerSpecTest, ComponentOverridesWithoutDefault) {
+  Logger& lg = Logger::instance();
+  ASSERT_TRUE(lg.configure("totem=debug"));
+  EXPECT_EQ(lg.level(), LogLevel::Off);  // default untouched
+  EXPECT_TRUE(lg.enabled_for(LogLevel::Debug, "totem"));
+  EXPECT_FALSE(lg.enabled_for(LogLevel::Error, "engine"));
 }
 
 TEST(Histogram, Buckets) {
