@@ -7,6 +7,7 @@
 
 #include "giop/giop.hpp"
 #include "obs/obs.hpp"
+#include "rep/oracle.hpp"
 #include "rep/wire.hpp"
 #include "totem/wire.hpp"
 
@@ -149,6 +150,35 @@ void BM_ObsTraceRecordEnabled(benchmark::State& state) {
   benchmark::DoNotOptimize(t.size());
 }
 BENCHMARK(BM_ObsTraceRecordEnabled);
+
+// The per-operation cost of the divergence oracle when it is switched off:
+// like the tracer, the engine's execution path pays a single predictable
+// branch and never computes a digest.
+void BM_OracleDisabledGuard(benchmark::State& state) {
+  rep::DivergenceOracle oracle(0);  // interval 0 = disabled
+  std::uint64_t version = 0;
+  std::uint64_t armed = 0;
+  for (auto _ : state) {
+    ++version;
+    if (oracle.enabled() && oracle.due(version)) ++armed;
+    benchmark::DoNotOptimize(armed);
+  }
+}
+BENCHMARK(BM_OracleDisabledGuard);
+
+// The enabled-path bookkeeping: one observe() per delivered digest.
+void BM_OracleObserve(benchmark::State& state) {
+  rep::DivergenceOracle oracle(1);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    rep::OperationId op{{1, ++seq}, 1};
+    benchmark::DoNotOptimize(
+        oracle.observe("acct.checking", op, 1, 0xFEEDULL, seq));
+    benchmark::DoNotOptimize(
+        oracle.observe("acct.checking", op, 2, 0xFEEDULL, seq));
+  }
+}
+BENCHMARK(BM_OracleObserve);
 
 void BM_FtRequestContext(benchmark::State& state) {
   giop::FtRequestContext ctx;

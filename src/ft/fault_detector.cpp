@@ -109,7 +109,7 @@ void FaultDetector::send_ping(sim::NodeId target) {
         "node" + std::to_string(target),
         "ping_seq=" + std::to_string(missed) +
             " timeout=" + std::to_string(wit->second.timeout) + "us");
-    notifier_.push(FaultReport{target, "", sim_.now(), "CRASH"});
+    notifier_.push(FaultReport{target, "", sim_.now(), "CRASH", {}});
     // Keep probing: recovery clears the suspicion.
     schedule_ping(target, wit->second.interval);
   });
@@ -140,7 +140,7 @@ void FaultDetector::on_message(const totem::GroupMessage& m) {
                                   obs::EventKind::FaultCleared,
                                   "node" + std::to_string(from),
                                   "pong_seq=" + std::to_string(seq));
-      notifier_.push(FaultReport{from, "", sim_.now(), "RECOVERED"});
+      notifier_.push(FaultReport{from, "", sim_.now(), "RECOVERED", {}});
     }
     schedule_ping(from, watch.interval);
   }

@@ -20,7 +20,8 @@ struct FaultReport {
   sim::NodeId node = 0;       // the suspected/failed processor
   std::string group;          // affected object group ("" = processor-level)
   sim::Time when = 0;         // simulated detection time
-  std::string type;           // e.g. "CRASH", "UNREACHABLE"
+  std::string type;           // e.g. "CRASH", "UNREACHABLE", "DIVERGENCE"
+  std::string detail;         // structured context (e.g. the diverged op id)
 };
 
 class FaultNotifier {

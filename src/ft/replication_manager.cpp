@@ -48,6 +48,14 @@ ReplicationManager::ReplicationManager(rep::Domain& domain,
   for (sim::NodeId i = 0; i < domain_.size(); ++i) {
     domain_.engine(i).set_view_observer(
         [this, i](const totem::GroupView& v) { on_view(i, v); });
+    // Divergence-oracle reports become structured fault reports naming the
+    // diverged replica and the operation that exposed it.
+    domain_.engine(i).set_divergence_observer(
+        [this](const rep::DivergenceReport& r) {
+          notifier_.push(FaultReport{r.node_b, r.group,
+                                     domain_.simulation().now(), "DIVERGENCE",
+                                     r.str()});
+        });
   }
 }
 
@@ -226,7 +234,7 @@ void ReplicationManager::ensure_minimum(ManagedGroup& g) {
             "members=" + obs::format_members(g.members) +
                 " min=" + std::to_string(props.minimum_number_replicas));
         notifier_.push(
-            FaultReport{n, name, domain_.simulation().now(), "SPAWNED"});
+            FaultReport{n, name, domain_.simulation().now(), "SPAWNED", {}});
       } catch (const ObjectGroupError&) {
         // Placement raced with another change; the next view retries.
       }

@@ -1,3 +1,5 @@
+// detlint:allow(static-local) — process-wide observability singleton
+// (Meyers `global()`), shared diagnostics, not replica state.
 #include "obs/journal.hpp"
 
 #include <sstream>
@@ -20,6 +22,7 @@ const char* to_string(EventKind k) {
     case EventKind::ReplicaSpawned: return "replica_spawned";
     case EventKind::MemberAdded: return "member_added";
     case EventKind::MemberRemoved: return "member_removed";
+    case EventKind::DivergenceDetected: return "divergence_detected";
   }
   return "?";
 }

@@ -36,6 +36,7 @@ enum class EventKind : std::uint8_t {
   ReplicaSpawned,       // ReplicationManager restored MinimumNumberReplicas
   MemberAdded,          // ObjectGroupManager::add_member
   MemberRemoved,        // ObjectGroupManager::remove_member
+  DivergenceDetected,   // oracle: replica state digests disagreed at an op
 };
 
 const char* to_string(EventKind k);
@@ -74,7 +75,7 @@ class Journal {
 
  private:
   bool enabled_ = true;
-  std::size_t cap_;
+  std::size_t cap_ = 0;
   std::uint64_t dropped_ = 0;
   std::deque<JournalEvent> events_;
 };

@@ -1,3 +1,5 @@
+// detlint:allow(static-local) — process-wide observability singleton
+// (Meyers `global()`), shared diagnostics, not replica state.
 #include "obs/metrics.hpp"
 
 #include <sstream>

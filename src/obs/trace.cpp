@@ -1,3 +1,5 @@
+// detlint:allow(static-local) — process-wide observability singleton
+// (Meyers `global()`), shared diagnostics, not replica state.
 #include "obs/trace.hpp"
 
 #include <algorithm>
@@ -21,6 +23,8 @@ const char* to_string(SpanEvent e) {
     case SpanEvent::StateUpdateApplied: return "state_update_applied";
     case SpanEvent::FulfillmentRecorded: return "fulfillment_recorded";
     case SpanEvent::FulfillmentReplayed: return "fulfillment_replayed";
+    case SpanEvent::StateDigestSent: return "state_digest_sent";
+    case SpanEvent::DivergenceDetected: return "divergence_detected";
   }
   return "?";
 }

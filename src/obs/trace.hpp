@@ -52,6 +52,8 @@ enum class SpanEvent : std::uint8_t {
   StateUpdateApplied,    // passive backup applied the postimage
   FulfillmentRecorded,   // secondary component queued the op for remerge
   FulfillmentReplayed,   // queued op re-invoked after remerge
+  StateDigestSent,       // divergence oracle: replica broadcast its digest
+  DivergenceDetected,    // divergence oracle: digests disagreed at this op
 };
 
 const char* to_string(SpanEvent e);
@@ -99,7 +101,7 @@ class Tracer {
 
  private:
   bool enabled_ = false;
-  std::size_t cap_;
+  std::size_t cap_ = 0;
   std::size_t next_ = 0;   // ring write index
   std::uint64_t total_ = 0;
   std::vector<TraceRecord> ring_;

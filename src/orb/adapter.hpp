@@ -64,8 +64,8 @@ class PlainContext : public InvokerContext {
   bool in_primary_component() const override { return true; }
 
  private:
-  std::uint64_t now_;
-  std::uint64_t rand_state_;
+  std::uint64_t now_ = 0;
+  std::uint64_t rand_state_ = 0;
 };
 
 }  // namespace eternal::orb

@@ -29,8 +29,8 @@ class SystemException : public std::runtime_error {
 
  private:
   std::string exception_id_;
-  std::uint32_t minor_;
-  Completion completed_;
+  std::uint32_t minor_ = 0;
+  Completion completed_ = Completion::No;
 };
 
 inline SystemException bad_operation(const std::string& op) {

@@ -44,7 +44,11 @@ EngineCounters::EngineCounters(obs::Registry& reg, NodeId node)
       fulfillment_recorded(reg.counter(
           obs::node_metric("engine", "fulfillment_recorded", node))),
       fulfillment_replayed(reg.counter(
-          obs::node_metric("engine", "fulfillment_replayed", node))) {}
+          obs::node_metric("engine", "fulfillment_replayed", node))),
+      state_digests_sent(reg.counter(
+          obs::node_metric("engine", "state_digests_sent", node))),
+      divergences_detected(reg.counter(
+          obs::node_metric("engine", "divergences_detected", node))) {}
 
 void EngineCounters::reset() noexcept {
   invocations_executed.reset();
@@ -58,6 +62,8 @@ void EngineCounters::reset() noexcept {
   failovers.reset();
   fulfillment_recorded.reset();
   fulfillment_replayed.reset();
+  state_digests_sent.reset();
+  divergences_detected.reset();
 }
 
 EngineStats EngineCounters::snapshot() const noexcept {
@@ -73,6 +79,8 @@ EngineStats EngineCounters::snapshot() const noexcept {
   s.failovers = failovers.value();
   s.fulfillment_recorded = fulfillment_recorded.value();
   s.fulfillment_replayed = fulfillment_replayed.value();
+  s.state_digests_sent = state_digests_sent.value();
+  s.divergences_detected = divergences_detected.value();
   return s;
 }
 
@@ -131,7 +139,7 @@ class ExecContext final : public orb::InvokerContext {
   Engine& engine_;
   std::string group_;
   Engine::Execution& exec_;
-  bool primary_component_;
+  bool primary_component_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -142,7 +150,8 @@ Engine::Engine(sim::Simulation& sim, totem::GroupLayer& groups,
                EngineParams params)
     : sim_(sim), groups_(groups), params_(params),
       counters_(obs::Registry::global(), groups.id()),
-      tracer_(obs::Tracer::global()) {
+      tracer_(obs::Tracer::global()),
+      oracle_(params.divergence_check_interval) {
   counters_.reset();
   groups_.subscribe_all(
       [this](const totem::GroupMessage& m) { on_message(m); });
@@ -188,6 +197,7 @@ void Engine::unhost(const std::string& group) {
   if (it == local_.end()) return;
   groups_.leave(group);
   local_.erase(it);
+  oracle_.forget(group);
 }
 
 void Engine::reset_after_crash() {
@@ -195,6 +205,7 @@ void Engine::reset_after_crash() {
     g.join_retry_timer.cancel();
     g.exec_hold_timer.cancel();
     groups_.leave(name);
+    oracle_.forget(name);
   }
   local_.clear();
   expected_replies_.clear();
@@ -362,6 +373,11 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
     case Kind::SyncedMark:
       handle_synced_mark(g, env);
       return;
+    case Kind::StateDigest:
+      // Digest comparison needs no local state (the copies under comparison
+      // all ride in envelopes), so even an unsynced replica participates.
+      handle_state_digest(g, env);
+      return;
     case Kind::Response:
       return;  // handled above
   }
@@ -517,6 +533,16 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
 
   const bool mutating = !failed && !ex.read_only;
   if (mutating) ++g.state_version;
+
+  // Divergence oracle: at the configured cadence every active replica
+  // broadcasts a digest of its post-operation state for cross-comparison.
+  // Keyed on the group-wide state version (not a local counter) so replicas
+  // that joined by state transfer check on the same boundaries. The
+  // disabled path costs exactly this one branch (see bench_micro).
+  if (oracle_.enabled() && mutating && g.cfg.style == Style::Active &&
+      oracle_.due(g.state_version)) {
+    send_state_digest(g, ex.op_id, ex.op_name);
+  }
 
   // Passive primary: ship the postimage to the backups *before* the
   // response, so a backup promoted later is never behind a reply the
@@ -1144,6 +1170,46 @@ void Engine::handle_synced_mark(LocalGroup& g, const Envelope& env) {
   g.synced_set.insert(env.node);
   g.member_status[env.node] = true;
   check_promotion(g, was_primary);
+}
+
+// ---------------------------------------------------------------------------
+// Divergence oracle (see rep/oracle.hpp)
+// ---------------------------------------------------------------------------
+
+void Engine::send_state_digest(LocalGroup& g, const OperationId& op,
+                               const std::string& op_name) {
+  Envelope dig;
+  dig.kind = Kind::StateDigest;
+  dig.op_id = op;
+  dig.target_group = g.cfg.name;
+  dig.source_group = g.cfg.name;
+  dig.state_version = g.state_version;
+  dig.operation = op_name;
+  dig.node = id();
+  dig.digest = digest_state(*g.replica, g.state_version);
+  counters_.state_digests_sent.inc();
+  if (tracing()) {
+    trace(op, obs::SpanEvent::StateDigestSent,
+          "group=" + g.cfg.name + " version=" +
+              std::to_string(g.state_version) + " digest=" +
+              std::to_string(dig.digest));
+  }
+  send_envelope(g.cfg.name, dig);
+}
+
+void Engine::handle_state_digest(LocalGroup& g, const Envelope& env) {
+  auto report = oracle_.observe(g.cfg.name, env.op_id, env.node, env.digest,
+                                env.state_version);
+  if (!report) return;
+  // The digests rode the total order, so every engine hosting the group
+  // convicts the same operation with the same reference/diverged pair.
+  counters_.divergences_detected.inc();
+  journal(obs::EventKind::DivergenceDetected, g.cfg.name, report->str());
+  if (tracing()) {
+    trace(env.op_id, obs::SpanEvent::DivergenceDetected,
+          "group=" + g.cfg.name + " " + report->str());
+  }
+  if (divergence_observer_) divergence_observer_(*report);
 }
 
 Bytes Engine::encode_checkpoint(const LocalGroup& g,

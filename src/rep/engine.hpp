@@ -39,6 +39,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "orb/adapter.hpp"
+#include "rep/oracle.hpp"
 #include "rep/replica.hpp"
 #include "rep/wire.hpp"
 #include "totem/group.hpp"
@@ -77,6 +78,10 @@ struct EngineParams {
   /// backlog before serving) visibly slower than warm-passive failover.
   /// 0 disables the model (unit tests).
   sim::Time update_apply_us_per_kib = 0;
+  /// Divergence oracle cadence: every k-th state version, active replicas
+  /// broadcast a state digest that is cross-compared (see rep/oracle.hpp).
+  /// 0 (the default) disables the oracle; the disabled cost is one branch.
+  std::uint64_t divergence_check_interval = 0;
 };
 
 /// Point-in-time snapshot of one engine's counters. The live values are
@@ -94,6 +99,8 @@ struct EngineStats {
   std::uint64_t failovers = 0;              // this node became primary
   std::uint64_t fulfillment_recorded = 0;
   std::uint64_t fulfillment_replayed = 0;
+  std::uint64_t state_digests_sent = 0;     // divergence oracle broadcasts
+  std::uint64_t divergences_detected = 0;   // oracle mismatches reported
 };
 
 /// Stable registry handles for the engine's hot-path counters, zeroed at
@@ -110,6 +117,8 @@ struct EngineCounters {
   obs::Counter& failovers;
   obs::Counter& fulfillment_recorded;
   obs::Counter& fulfillment_replayed;
+  obs::Counter& state_digests_sent;
+  obs::Counter& divergences_detected;
 
   EngineCounters(obs::Registry& reg, NodeId node);
   void reset() noexcept;
@@ -176,6 +185,14 @@ class Engine {
   /// FT-CORBA management layer (ReplicationManager).
   void set_view_observer(std::function<void(const totem::GroupView&)> fn) {
     view_observer_ = std::move(fn);
+  }
+
+  /// Observer for divergence-oracle reports (state digests disagreeing
+  /// between active replicas); used by the ReplicationManager to push a
+  /// structured fault report through the FaultNotifier.
+  void set_divergence_observer(
+      std::function<void(const DivergenceReport&)> fn) {
+    divergence_observer_ = std::move(fn);
   }
 
   // --- used by Client and by nested-invocation contexts -------------------
@@ -271,6 +288,12 @@ class Engine {
   void handle_join_request(LocalGroup& g, const Envelope& env);
   void handle_snapshot(LocalGroup& g, const Envelope& env);
   void handle_synced_mark(LocalGroup& g, const Envelope& env);
+  void handle_state_digest(LocalGroup& g, const Envelope& env);
+
+  /// Broadcast this replica's state digest for the just-finished operation
+  /// (divergence oracle, active style only).
+  void send_state_digest(LocalGroup& g, const OperationId& op,
+                         const std::string& op_name);
 
   // --- execution ---
   void start_execution(LocalGroup& g, const Envelope& env,
@@ -320,6 +343,7 @@ class Engine {
   EngineParams params_;
   EngineCounters counters_;
   obs::Tracer& tracer_;
+  DivergenceOracle oracle_;
 
   std::map<std::string, LocalGroup> local_;
   /// reply_group -> (op -> future) for in-flight outbound operations.
@@ -331,6 +355,7 @@ class Engine {
 
   std::unique_ptr<Client> client_;
   std::function<void(const totem::GroupView&)> view_observer_;
+  std::function<void(const DivergenceReport&)> divergence_observer_;
 };
 
 /// Client stub: the unreplicated invoker used by applications, examples and

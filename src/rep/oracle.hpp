@@ -1,0 +1,112 @@
+// Cross-replica divergence oracle.
+//
+// Static analysis (tools/detlint) keeps *known* sources of nondeterminism
+// out of replica code, but it cannot prove a servant deterministic — a
+// library call, a data race, or an untraced environmental read can still
+// make actively-replicated copies compute different state from the same
+// totally-ordered inputs. That failure is silent: duplicate suppression
+// keeps returning the first reply, and the divergence surfaces only much
+// later as an inexplicable wrong answer after a failover (the hardest class
+// of bug the paper reports).
+//
+// The oracle makes the failure loud and attributable. At a configurable
+// cadence (every Nth state version — a coordinate all synced replicas
+// share, including joiners, because it rides in tier-3 state transfer),
+// each active replica broadcasts a digest of its application state on the
+// same totally-ordered channel as everything else, keyed by the operation
+// identifier that produced the version. Every engine cross-compares the
+// copies: the first digest for an operation is the reference, and any
+// mismatching sibling digest produces exactly one DivergenceReport naming
+// the operation identifier, the state version and both digests. Because
+// the digests are delivered in total order, every surviving replica
+// convicts the same operation.
+//
+// The oracle is OFF by default (interval 0); when off the engine's cost is
+// a single predictable branch per executed operation (verified by
+// bench_micro), mirroring the tracer's disabled-guard pattern.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "rep/ids.hpp"
+#include "rep/replica.hpp"
+
+namespace eternal::rep {
+
+/// One detected divergence: at `state_version`, after operation `op`,
+/// node_b's state digest disagreed with the reference digest from node_a.
+struct DivergenceReport {
+  std::string group;
+  OperationId op;
+  std::uint64_t state_version = 0;
+  std::uint32_t node_a = 0;  // reference (first digest delivered)
+  std::uint64_t digest_a = 0;
+  std::uint32_t node_b = 0;  // diverged replica
+  std::uint64_t digest_b = 0;
+
+  /// `op=E:S/Q version=V node A digest=X vs node B digest=Y`.
+  std::string str() const;
+};
+
+/// FNV-1a digest of the replica's serialised tier-1 (application) state,
+/// mixed with the state version so "same bytes, different history" still
+/// differs. Deterministic across replicas iff the state is.
+std::uint64_t digest_state(const Replica& replica,
+                           std::uint64_t state_version);
+
+class DivergenceOracle {
+ public:
+  /// interval == 0 disables the oracle; interval == k checks every k-th
+  /// state version.
+  explicit DivergenceOracle(std::uint64_t interval = 0) noexcept
+      : interval_(interval) {}
+
+  bool enabled() const noexcept { return interval_ != 0; }
+  std::uint64_t interval() const noexcept { return interval_; }
+
+  /// Is a digest due at this state version? Keyed on the group-wide state
+  /// version — NOT a per-engine counter — so replicas that joined late (and
+  /// inherited the version via state transfer) check on the same boundaries
+  /// as the founders.
+  bool due(std::uint64_t state_version) const noexcept {
+    return state_version % interval_ == 0;
+  }
+
+  /// Record one replica's digest for (group, op). Returns a report the
+  /// first time a digest disagrees with the reference copy; at most one
+  /// report per operation.
+  std::optional<DivergenceReport> observe(const std::string& group,
+                                          const OperationId& op,
+                                          std::uint32_t node,
+                                          std::uint64_t digest,
+                                          std::uint64_t state_version);
+
+  /// Drop tracked digests for a group (unhost / crash reset).
+  void forget(const std::string& group);
+
+  std::size_t tracked() const noexcept { return seen_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t node = 0;      // reference node
+    std::uint64_t digest = 0;    // reference digest
+    std::uint64_t version = 0;
+    bool reported = false;       // report-once latch
+  };
+  using Key = std::pair<std::string, OperationId>;
+
+  /// Bound on tracked operations; oldest are evicted FIFO. Comparison only
+  /// needs the handful of in-flight digest rounds, so a small bound holds.
+  static constexpr std::size_t kMaxTracked = 1024;
+
+  std::uint64_t interval_ = 0;
+  std::map<Key, Entry> seen_;
+  std::deque<Key> order_;  // FIFO eviction order
+};
+
+}  // namespace eternal::rep

@@ -36,6 +36,7 @@ Bytes encode(const Envelope& env) {
   enc.put_ulong(env.chunk_index);
   enc.put_ulong(env.chunk_count);
   enc.put_octet_seq(env.blob);
+  enc.put_ulonglong(env.digest);
   return enc.take();
 }
 
@@ -43,7 +44,7 @@ Envelope decode_envelope(const Bytes& wire) {
   cdr::Decoder dec(wire);
   Envelope env;
   const std::uint8_t kind = dec.get_octet();
-  if (kind < 1 || kind > 6) throw cdr::MarshalError("bad envelope kind");
+  if (kind < 1 || kind > 7) throw cdr::MarshalError("bad envelope kind");
   env.kind = static_cast<Kind>(kind);
   env.op_id.parent = get_seq(dec);
   env.op_id.op_seq = dec.get_ulonglong();
@@ -63,6 +64,7 @@ Envelope decode_envelope(const Bytes& wire) {
   env.chunk_index = dec.get_ulong();
   env.chunk_count = dec.get_ulong();
   env.blob = dec.get_octet_seq();
+  env.digest = dec.get_ulonglong();
   return env;
 }
 

@@ -1,6 +1,6 @@
 // Replication-layer message envelopes.
 //
-// The infrastructure exchanges six envelope kinds over the totally-ordered
+// The infrastructure exchanges seven envelope kinds over the totally-ordered
 // group channel. Invocations and responses carry *real GIOP messages*
 // (request/reply) inside the envelope, mirroring how the original system
 // intercepted IIOP messages below the ORB and tunnelled them through the
@@ -24,6 +24,7 @@ enum class Kind : std::uint8_t {
   JoinRequest = 4,  // ordered marker: a replica wants the group state
   Snapshot = 5,     // three-tier state, possibly chunked
   SyncedMark = 6,   // ordered record that a replica holds consistent state
+  StateDigest = 7,  // divergence oracle: replica's state digest at an op
 };
 
 struct Envelope {
@@ -56,6 +57,10 @@ struct Envelope {
   std::uint32_t chunk_index = 0;
   std::uint32_t chunk_count = 0;
   Bytes blob;                    // snapshot chunk payload
+
+  // StateDigest (divergence oracle; `node` above names the digesting
+  // replica and `state_version`/`operation` the checked boundary)
+  std::uint64_t digest = 0;      // fnv1a over serialized tier-1 state
 };
 
 Bytes encode(const Envelope& env);

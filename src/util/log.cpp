@@ -1,3 +1,5 @@
+// detlint:allow(static-local) — process-wide logger singleton
+// (Meyers `instance()`), shared diagnostics, not replica state.
 #include "util/log.hpp"
 
 #include <algorithm>

@@ -25,7 +25,7 @@ class SplitMix64 {
   }
 
  private:
-  std::uint64_t state_;
+  std::uint64_t state_ = 0;
 };
 
 /// xoshiro256**: the workhorse generator. Satisfies the C++ named
@@ -97,7 +97,7 @@ class Xoshiro256 {
     return (x << k) | (x >> (64 - k));
   }
 
-  std::uint64_t state_[4];
+  std::uint64_t state_[4] = {};
 };
 
 }  // namespace eternal::util

@@ -1,0 +1,12 @@
+// Fixture: address-derived values — heap layout and ASLR differ per
+// replica, so any value derived from a pointer diverges state.
+#include <cstdint>
+#include <cstdio>
+
+std::uint64_t key_of(const void* obj) {
+  return reinterpret_cast<std::uintptr_t>(obj);
+}
+
+void log_object(const void* obj) {
+  std::printf("object at %p\n", obj);
+}

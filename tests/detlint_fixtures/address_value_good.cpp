@@ -1,0 +1,13 @@
+// Fixture: identifiers must come from replicated state (sequence numbers,
+// operation identifiers), never from addresses.
+#include <cstdint>
+#include <cstdio>
+
+struct Registry {
+  std::uint64_t next_id_ = 1;
+  std::uint64_t assign() { return next_id_++; }
+};
+
+void log_object(std::uint64_t id) {
+  std::printf("object #%llu\n", static_cast<unsigned long long>(id));
+}

@@ -1,0 +1,12 @@
+// Fixture: ambient randomness — different at every replica by design.
+#include <cstdlib>
+#include <random>
+
+unsigned draw_device() {
+  std::random_device rd;
+  return rd();
+}
+
+int draw_rand() { return rand() % 6; }
+
+void reseed() { srand(42); }

@@ -1,0 +1,11 @@
+// Fixture: the sanctioned randomness — a deterministic stream seeded from
+// the operation identifier, identical at every replica. Identifiers ending
+// in "random" (deterministic_random) must not trip the rule.
+#include <cstdint>
+
+struct Ctx {
+  std::uint64_t deterministic_random() { return state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL; }
+  std::uint64_t state_ = 1;
+};
+
+std::uint64_t draw(Ctx& ctx) { return ctx.deterministic_random(); }

@@ -1,0 +1,9 @@
+// Fixture: static mutable locals — hidden per-process state that survives
+// across operations and is invisible to state transfer, so a recovered
+// replica restarts it from scratch while the others carry on.
+#include <cstdint>
+
+std::uint64_t next_ticket() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}

@@ -1,0 +1,9 @@
+// Fixture: immutable statics are fine — identical at every replica and
+// untouched by execution order.
+#include <cstdint>
+
+std::uint64_t scaled(std::uint64_t v) {
+  static const std::uint64_t kScale = 1024;
+  static constexpr std::uint64_t kOffset = 7;
+  return v * kScale + kOffset;
+}

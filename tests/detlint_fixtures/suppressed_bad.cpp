@@ -1,0 +1,12 @@
+// Fixture: the per-file suppression syntax. This file reads wall clocks
+// and keeps a static mutable local, but both rules are allowed here —
+// mirroring how the obs and bench layers legitimately read clocks.
+// detlint:allow(wall-clock, static-local)
+#include <chrono>
+
+std::uint64_t wall_now() {
+  static std::uint64_t last = 0;
+  last = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return last;
+}

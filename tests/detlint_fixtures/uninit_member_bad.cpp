@@ -1,0 +1,12 @@
+// Fixture: uninitialized primitive members — indeterminate values differ
+// per replica (and per run), so any state derived from them diverges.
+#include <cstdint>
+
+struct Tally {
+  std::uint64_t count_;
+  double mean_;
+  bool armed_;
+  char* cursor_;
+};
+
+std::uint64_t read(const Tally& t) { return t.count_; }

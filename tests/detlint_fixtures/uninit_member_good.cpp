@@ -1,0 +1,14 @@
+// Fixture: every primitive member carries a default initializer, so a
+// freshly constructed replica starts from the same state everywhere.
+#include <cstdint>
+#include <string>
+
+struct Tally {
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  bool armed_ = false;
+  char* cursor_ = nullptr;
+  std::string label_;  // class types default-construct deterministically
+};
+
+std::uint64_t read(const Tally& t) { return t.count_; }

@@ -1,0 +1,21 @@
+// Fixture: iterating a hash container — visit order depends on hashing,
+// bucket counts and allocation, and differs per replica.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int sum_values(const std::unordered_map<std::string, int>& table) {
+  int sum = 0;
+  for (const auto& [k, v] : table) {
+    sum += v;
+  }
+  return sum;
+}
+
+std::size_t walk(const std::unordered_set<int>& seen) {
+  std::size_t n = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    ++n;
+  }
+  return n;
+}

@@ -1,0 +1,18 @@
+// Fixture: hash containers are fine for point lookups; iteration belongs
+// on ordered containers whose visit order is identical at every replica.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+bool has(const std::unordered_map<std::string, int>& table,
+         const std::string& key) {
+  return table.find(key) != table.end();
+}
+
+int sum_values(const std::map<std::string, int>& entries) {
+  int sum = 0;
+  for (const auto& [k, v] : entries) {
+    sum += v;
+  }
+  return sum;
+}

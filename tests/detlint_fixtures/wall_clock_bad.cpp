@@ -1,0 +1,16 @@
+// Fixture: wall-clock reads a replica must never perform.
+#include <chrono>
+#include <ctime>
+
+std::uint64_t stamp_chrono() {
+  auto t = std::chrono::system_clock::now();
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+std::uint64_t stamp_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+std::uint64_t stamp_ctime() {
+  return static_cast<std::uint64_t>(time(nullptr));
+}

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned time source — the invocation's logical time,
+// identical at every replica. Identifiers containing "time" must not trip
+// the rule either (transit_time, logical_time).
+#include <cstdint>
+
+struct Ctx {
+  std::uint64_t logical_time() const { return now_; }
+  std::uint64_t now_ = 0;
+};
+
+std::uint64_t stamp(const Ctx& ctx) { return ctx.logical_time(); }
+
+std::uint64_t transit_time(std::uint64_t bytes) { return bytes / 128; }

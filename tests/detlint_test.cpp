@@ -1,0 +1,166 @@
+// detlint rule coverage: every rule fires on its bad fixture at the
+// expected lines (golden), stays quiet on its good twin, and the per-file
+// `detlint:allow(...)` suppression syntax works. The fixtures live in
+// tests/detlint_fixtures/ and are never compiled — they are data.
+//
+// detlint:allow(address-value) — a "%p" rule vector is embedded below as
+// inline source-under-test, not as real formatting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using detlint::Finding;
+
+std::string fixture(const std::string& name) {
+  return std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// (line, rule) pairs of the findings, in reporting order.
+std::vector<std::pair<int, std::string>> lines_and_rules(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<int, std::string>> out;
+  for (const Finding& f : findings) out.emplace_back(f.line, f.rule);
+  return out;
+}
+
+using Golden = std::vector<std::pair<int, std::string>>;
+
+struct FixtureCase {
+  const char* file;
+  Golden expected;
+};
+
+// The golden table: every detlint rule, bad and good twin.
+const std::vector<FixtureCase> kCases = {
+    {"wall_clock_bad.cpp",
+     {{6, "wall-clock"}, {11, "wall-clock"}, {15, "wall-clock"}}},
+    {"wall_clock_good.cpp", {}},
+    {"ambient_random_bad.cpp",
+     {{6, "ambient-random"}, {10, "ambient-random"}, {12, "ambient-random"}}},
+    {"ambient_random_good.cpp", {}},
+    {"unordered_iteration_bad.cpp",
+     {{9, "unordered-iteration"}, {17, "unordered-iteration"}}},
+    {"unordered_iteration_good.cpp", {}},
+    {"address_value_bad.cpp", {{7, "address-value"}, {11, "address-value"}}},
+    {"address_value_good.cpp", {}},
+    {"static_local_bad.cpp", {{7, "static-local"}}},
+    {"static_local_good.cpp", {}},
+    {"uninit_member_bad.cpp",
+     {{6, "uninit-member"},
+      {7, "uninit-member"},
+      {8, "uninit-member"},
+      {9, "uninit-member"}}},
+    {"uninit_member_good.cpp", {}},
+    {"suppressed_bad.cpp", {}},  // wall-clock + static-local, both allowed
+};
+
+TEST(DetlintFixtures, GoldenFindingsPerRule) {
+  for (const FixtureCase& c : kCases) {
+    const auto findings = detlint::lint_file(fixture(c.file));
+    EXPECT_EQ(lines_and_rules(findings), c.expected) << c.file;
+  }
+}
+
+TEST(DetlintFixtures, EveryRuleHasABadFixtureThatFires) {
+  std::set<std::string> fired;
+  for (const FixtureCase& c : kCases) {
+    for (const auto& [line, rule] : c.expected) fired.insert(rule);
+  }
+  for (const std::string& rule : detlint::rule_ids()) {
+    EXPECT_TRUE(fired.count(rule)) << "no fixture exercises rule " << rule;
+  }
+}
+
+TEST(DetlintFixtures, DirectoryWalkSkipsFixtures) {
+  // Scanning the tests/ directory must skip detlint_fixtures/ (which is
+  // deliberately bad) and come back clean over the real test sources.
+  const std::string tests_dir =
+      fixture("").substr(0, fixture("").rfind("/detlint_fixtures/"));
+  std::size_t scanned = 0;
+  const auto findings = detlint::lint_paths({tests_dir}, &scanned);
+  EXPECT_GT(scanned, 10u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file.find("detlint_fixtures"), std::string::npos) << f.file;
+  }
+  EXPECT_TRUE(findings.empty()) << detlint::to_text(findings);
+}
+
+TEST(DetlintFixtures, ExplicitFixturePathIsStillLinted) {
+  // A fixture file passed explicitly (as the tests do) is linted even
+  // though the directory walk would skip it.
+  std::size_t scanned = 0;
+  const auto findings =
+      detlint::lint_paths({fixture("static_local_bad.cpp")}, &scanned);
+  EXPECT_EQ(scanned, 1u);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "static-local");
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer unit behaviour on inline sources.
+// ---------------------------------------------------------------------------
+
+TEST(DetlintAnalyzer, CommentsAndStringsDoNotTripPatternRules) {
+  const std::string src =
+      "// mentions system_clock and rand() in a comment\n"
+      "/* std::random_device too */\n"
+      "const char* doc = \"call time() for fun\";\n";
+  EXPECT_TRUE(detlint::lint_source("t.cpp", src).empty());
+}
+
+TEST(DetlintAnalyzer, PercentPInsideStringIsCaught) {
+  const std::string src = "void f(void* p) { printf(\"at %p\", p); }\n";
+  const auto findings = detlint::lint_source("t.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "address-value");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(DetlintAnalyzer, DigitSeparatorIsNotACharLiteral) {
+  // If 1'000'000 were mis-lexed as a char literal, the steady_clock read
+  // after it would be swallowed by the bogus literal and missed.
+  const std::string src =
+      "long n = 1'000'000;\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  const auto findings = detlint::lint_source("t.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(DetlintAnalyzer, SuppressionIsPerRule) {
+  const std::string src =
+      "// detlint:allow(wall-clock)\n"
+      "auto t = std::chrono::system_clock::now();\n"
+      "int r = rand();\n";
+  const auto findings = detlint::lint_source("t.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);  // wall-clock allowed, ambient-random not
+  EXPECT_EQ(findings[0].rule, "ambient-random");
+}
+
+TEST(DetlintAnalyzer, ConstexprMembersAndClassTypesAreNotFlagged) {
+  const std::string src =
+      "struct S {\n"
+      "  static constexpr int kN = 4;\n"
+      "  std::string name_;\n"
+      "  std::uint64_t seq_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(detlint::lint_source("t.cpp", src).empty());
+}
+
+TEST(DetlintAnalyzer, JsonOutputIsMachineReadable) {
+  const auto findings = detlint::lint_file(fixture("static_local_bad.cpp"));
+  const std::string json = detlint::to_json(findings);
+  EXPECT_NE(json.find("\"rule\":\"static-local\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":7"), std::string::npos);
+  EXPECT_TRUE(detlint::to_json({}).find("{\"findings\":[]}") == 0);
+}
+
+}  // namespace

@@ -74,26 +74,28 @@ TEST_P(CrashChaos, ExactlyOnceAndReplicaEquality) {
   ASSERT_TRUE(c.converge());
 
   std::int64_t completed = 0;
-  std::optional<NodeId> down;
+  NodeId down = 0;
+  bool crashed = false;
   for (int i = 0; i < 30; ++i) {
     // Random chaos step: crash one replica, or restart+rehost it.
-    if (!down && rng.chance(0.15)) {
+    if (!crashed && rng.chance(0.15)) {
       down = replicas[rng.below(replicas.size())];
-      c.fabric.crash(*down);
-    } else if (down && rng.chance(0.3)) {
-      c.domain.restart(*down);
+      crashed = true;
+      c.fabric.crash(down);
+    } else if (crashed && rng.chance(0.3)) {
+      c.domain.restart(down);
       ASSERT_TRUE(c.converge());
-      c.domain.engine(*down).host(rep::GroupConfig{"ctr", style},
-                                  std::make_shared<Counter>(), false);
-      down.reset();
+      c.domain.engine(down).host(rep::GroupConfig{"ctr", style},
+                                 std::make_shared<Counter>(), false);
+      crashed = false;
     }
     const NodeId client = 3 + static_cast<NodeId>(rng.below(2));
     EXPECT_EQ(c.incr(client), ++completed) << "op " << i << " seed " << seed;
   }
-  if (down) {
-    c.domain.restart(*down);
-    c.domain.engine(*down).host(rep::GroupConfig{"ctr", style},
-                                std::make_shared<Counter>(), false);
+  if (crashed) {
+    c.domain.restart(down);
+    c.domain.engine(down).host(rep::GroupConfig{"ctr", style},
+                               std::make_shared<Counter>(), false);
   }
   ASSERT_TRUE(c.converge());
   c.sim.run_for(5 * kSecond);

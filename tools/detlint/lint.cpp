@@ -1,0 +1,555 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace detlint {
+
+namespace {
+
+const std::vector<std::string> kRules = {
+    "wall-clock",      "ambient-random", "unordered-iteration",
+    "address-value",   "static-local",   "uninit-member",
+};
+
+// ---------------------------------------------------------------------------
+// Pass 1: scrub comments and literals.
+//
+// Produces a same-shape copy of the source with comment and string/char
+// literal *contents* blanked (newlines preserved, so line numbers survive),
+// while extracting `detlint:allow(...)` directives from comment text and
+// flagging `%p` inside string literals.
+// ---------------------------------------------------------------------------
+
+struct Scrubbed {
+  std::string code;                 // literal/comment contents blanked
+  std::set<std::string> allowed;    // rules suppressed for this file
+  std::vector<int> percent_p_lines; // string literals containing "%p"
+};
+
+void collect_allows(const std::string& comment, std::set<std::string>& out) {
+  static const std::regex re(R"(detlint:allow\(([^)]*)\))");
+  for (auto it = std::sregex_iterator(comment.begin(), comment.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    std::stringstream rules((*it)[1].str());
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) out.insert(rule.substr(b, e - b + 1));
+    }
+  }
+}
+
+Scrubbed scrub(const std::string& text) {
+  enum class State { Code, LineComment, BlockComment, String, RawString, Char };
+  Scrubbed out;
+  out.code.reserve(text.size());
+  State state = State::Code;
+  std::string comment;     // accumulates the current comment's text
+  std::string literal;     // accumulates the current string literal's text
+  std::string raw_delim;   // ")delim" terminator of the current raw string
+  int line = 1;
+  int literal_line = 1;
+
+  auto keep = [&](char c) { out.code.push_back(c); };
+  auto blank = [&](char c) { out.code.push_back(c == '\n' ? '\n' : ' '); };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          comment.clear();
+          blank(c);
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          comment.clear();
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string? The 'R' immediately precedes the quote (covers R"",
+          // u8R"", LR"" since we only need the char just before).
+          if (i > 0 && text[i - 1] == 'R') {
+            std::size_t paren = text.find('(', i + 1);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
+              state = State::RawString;
+              literal.clear();
+              literal_line = line;
+              keep(c);
+              for (std::size_t j = i + 1; j <= paren; ++j) blank(text[j]);
+              i = paren;
+              break;
+            }
+          }
+          state = State::String;
+          literal.clear();
+          literal_line = line;
+          keep(c);
+        } else if (c == '\'') {
+          // Not a character literal if glued to an identifier or number —
+          // that is a digit separator (1'000'000) or suffix position.
+          const char prev = i > 0 ? text[i - 1] : '\0';
+          if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+            keep(c);
+          } else {
+            state = State::Char;
+            keep(c);
+          }
+        } else {
+          keep(c);
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          collect_allows(comment, out.allowed);
+          state = State::Code;
+          keep(c);
+        } else {
+          comment.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          collect_allows(comment, out.allowed);
+          state = State::Code;
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          comment.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::String:
+        if (c == '\\' && next != '\0') {
+          literal.push_back(c);
+          literal.push_back(next);
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          if (literal.find("%p") != std::string::npos) {
+            out.percent_p_lines.push_back(literal_line);
+          }
+          state = State::Code;
+          keep(c);
+        } else {
+          literal.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::RawString:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          if (literal.find("%p") != std::string::npos) {
+            out.percent_p_lines.push_back(literal_line);
+          }
+          for (std::size_t j = 0; j + 1 < raw_delim.size(); ++j) {
+            blank(text[i + j]);
+          }
+          keep('"');
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else {
+          literal.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          keep(c);
+        } else {
+          blank(c);
+        }
+        break;
+    }
+    if (c == '\n') ++line;
+  }
+  if (state == State::LineComment || state == State::BlockComment) {
+    collect_allows(comment, out.allowed);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: pattern rules on scrubbed lines (wall-clock, ambient-random,
+// address-value, and the declaration half of unordered-iteration).
+// ---------------------------------------------------------------------------
+
+struct PatternRule {
+  std::string rule;
+  std::regex re;
+  std::string message;
+};
+
+const std::vector<PatternRule>& pattern_rules() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    auto add = [&r](const char* rule, const char* re, const char* msg) {
+      r.push_back({rule, std::regex(re), msg});
+    };
+    add("wall-clock",
+        R"(\b(system_clock|steady_clock|high_resolution_clock)\b)",
+        "wall-clock read: replicas sample different clocks; use "
+        "InvokerContext::logical_time()");
+    add("wall-clock", R"(\btime\s*\(\s*(NULL|nullptr|0|&)?)",
+        "time() read: replicas sample different clocks; use "
+        "InvokerContext::logical_time()");
+    add("wall-clock",
+        R"(\b(gettimeofday|clock_gettime|timespec_get|localtime|gmtime|mktime|ftime)\s*\()",
+        "wall-clock read: replicas sample different clocks; use "
+        "InvokerContext::logical_time()");
+    add("wall-clock", R"((\bclock\s*\(\s*\)|std::clock\b))",
+        "processor-clock read: differs per replica; use "
+        "InvokerContext::logical_time()");
+    add("ambient-random", R"(\brandom_device\b)",
+        "std::random_device: entropy differs per replica; use "
+        "InvokerContext::deterministic_random()");
+    add("ambient-random", R"((::|\b)s?rand\s*\()",
+        "ambient C randomness: unseeded/process-global state diverges "
+        "replicas; use InvokerContext::deterministic_random()");
+    add("ambient-random", R"(\b(drand48|lrand48|mrand48|random)\s*\(\s*\))",
+        "ambient C randomness: process-global state diverges replicas; use "
+        "InvokerContext::deterministic_random()");
+    add("address-value", R"(reinterpret_cast\s*<\s*(std::)?u?intptr_t\b)",
+        "pointer-to-integer conversion: addresses differ per replica "
+        "(ASLR/heap layout); derive values from replicated state");
+    add("address-value", R"(\(\s*(std::)?u?intptr_t\s*\)\s*[A-Za-z_&(])",
+        "pointer-to-integer cast: addresses differ per replica; derive "
+        "values from replicated state");
+    add("address-value", R"(std::hash\s*<\s*[^>]*\*\s*>)",
+        "hashing a pointer: addresses differ per replica; hash replicated "
+        "state instead");
+    return r;
+  }();
+  return rules;
+}
+
+// Identifiers declared as unordered containers (declaration is fine;
+// *iteration* over one is order-dependent and diverges replicas).
+std::set<std::string> unordered_names(const std::string& line) {
+  std::set<std::string> names;
+  static const std::regex decl(
+      R"((?:std::)?unordered_(?:multi)?(?:map|set)\s*<)");
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), decl);
+       it != std::sregex_iterator(); ++it) {
+    // Walk the matching '>' of the template argument list, then read the
+    // declared identifier (skipping refs and cv noise).
+    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+    int depth = 1;
+    while (pos < line.size() && depth > 0) {
+      if (line[pos] == '<') ++depth;
+      if (line[pos] == '>') --depth;
+      ++pos;
+    }
+    if (depth != 0) continue;
+    while (pos < line.size() &&
+           (std::isspace(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '&' || line[pos] == '*')) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '_')) {
+      name.push_back(line[pos++]);
+    }
+    if (!name.empty() && name != "const") names.insert(name);
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: scope-aware rules (static-local, uninit-member).
+//
+// A lightweight brace matcher classifies each scope from the declaration
+// text preceding its '{': namespace / enum / type (struct, class, union) /
+// everything else (function bodies, control blocks, lambdas, initializers).
+// Declarations (segments ending in ';') are then judged in context.
+// ---------------------------------------------------------------------------
+
+enum class Scope { Namespace, Type, Enum, Function };
+
+Scope classify(std::string seg) {
+  // Template parameter lists contain the `class` keyword; drop them first.
+  static const std::regex tmpl(R"(template\s*<[^<>]*>)");
+  seg = std::regex_replace(seg, tmpl, " ");
+  static const std::regex enum_re(R"(\benum\b)");
+  static const std::regex ns_re(R"(\bnamespace\b)");
+  static const std::regex type_re(R"(\b(struct|class|union)\b)");
+  if (std::regex_search(seg, enum_re)) return Scope::Enum;
+  if (std::regex_search(seg, ns_re)) return Scope::Namespace;
+  if (std::regex_search(seg, type_re) && seg.find('(') == std::string::npos) {
+    return Scope::Type;
+  }
+  return Scope::Function;
+}
+
+bool is_uninit_member_decl(std::string seg) {
+  // Strip access-specifier labels glued to the declaration.
+  static const std::regex access(R"(\b(public|private|protected)\s*:)");
+  seg = std::regex_replace(seg, access, " ");
+  if (seg.find_first_of("=({,") != std::string::npos) return false;
+  static const std::regex skip(
+      R"(\b(static|constexpr|const|using|typedef|friend|extern|mutable|operator|return|virtual|override|template)\b)");
+  if (std::regex_search(seg, skip)) return false;
+  // Primitive member `std::uint64_t n_;` or pointer member `Foo* p_;` with
+  // no initializer: indeterminate value, differs per replica.
+  static const std::regex prim(
+      R"(^\s*(std::)?(u?int(8|16|32|64)?_t|size_t|ptrdiff_t|u?intptr_t|int|unsigned(\s+(int|long|short|char))?|long(\s+(long|int|double))?|short|double|float|bool|char(8|16|32)?_t?|wchar_t)\s+[A-Za-z_]\w*\s*(\[[^\]]*\])?\s*$)");
+  static const std::regex ptr(
+      R"(^\s*[A-Za-z_][\w:]*(\s*<[^<>]*>)?\s*\*+\s*[A-Za-z_]\w*\s*$)");
+  return std::regex_search(seg, prim) || std::regex_search(seg, ptr);
+}
+
+bool is_static_mutable_local(const std::string& seg) {
+  static const std::regex static_re(R"(^\s*static\b)");
+  if (!std::regex_search(seg, static_re)) return false;
+  static const std::regex immut(R"(^\s*static\s+(const|constexpr)\b)");
+  return !std::regex_search(seg, immut);
+}
+
+void scope_rules(const std::string& file, const std::string& code,
+                 std::vector<Finding>& findings) {
+  std::vector<Scope> stack;
+  std::string seg;
+  int line = 1;
+  int seg_line = 1;
+  bool seg_started = false;
+
+  auto flush_decl = [&] {
+    if (!seg_started) {
+      seg.clear();
+      return;
+    }
+    const Scope innermost = stack.empty() ? Scope::Namespace : stack.back();
+    if (innermost == Scope::Type && is_uninit_member_decl(seg)) {
+      findings.push_back(
+          {file, seg_line, "uninit-member",
+           "uninitialized data member: indeterminate value differs per "
+           "replica; add an initializer"});
+    } else if (innermost == Scope::Function && is_static_mutable_local(seg)) {
+      findings.push_back(
+          {file, seg_line, "static-local",
+           "static mutable local: hidden shared state survives across "
+           "operations and diverges replicas; hoist into replicated "
+           "servant state"});
+    }
+    seg.clear();
+    seg_started = false;
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      stack.push_back(classify(seg));
+      seg.clear();
+      seg_started = false;
+    } else if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      seg.clear();
+      seg_started = false;
+    } else if (c == ';') {
+      flush_decl();
+    } else {
+      if (!seg_started && !std::isspace(static_cast<unsigned char>(c))) {
+        seg_started = true;
+        seg_line = line;
+      }
+      seg.push_back(c);
+    }
+    if (c == '\n') ++line;
+  }
+}
+
+bool suppressed(const Scrubbed& s, const std::string& rule) {
+  return s.allowed.count(rule) != 0 || s.allowed.count("all") != 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() { return kRules; }
+
+std::vector<Finding> lint_source(const std::string& file,
+                                 const std::string& text) {
+  const Scrubbed s = scrub(text);
+  std::vector<Finding> findings;
+
+  // Line-pattern rules + unordered-container declaration collection.
+  std::set<std::string> unordered;
+  std::istringstream lines(s.code);
+  std::string ln;
+  int lineno = 0;
+  static const std::regex range_for(
+      R"(for\s*\([^;()]*:\s*([A-Za-z_]\w*)\s*\))");
+  static const std::regex begin_call(R"(\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
+  while (std::getline(lines, ln)) {
+    ++lineno;
+    for (const PatternRule& r : pattern_rules()) {
+      if (suppressed(s, r.rule)) continue;
+      if (std::regex_search(ln, r.re)) {
+        findings.push_back({file, lineno, r.rule, r.message});
+      }
+    }
+    for (const std::string& name : unordered_names(ln)) unordered.insert(name);
+    if (!suppressed(s, "unordered-iteration")) {
+      std::smatch m;
+      if (std::regex_search(ln, m, range_for) && unordered.count(m[1].str())) {
+        findings.push_back(
+            {file, lineno, "unordered-iteration",
+             "iteration over std::unordered container '" + m[1].str() +
+                 "': order depends on hashing/layout and differs per "
+                 "replica; use an ordered container or sort first"});
+      } else if (std::regex_search(ln, m, begin_call) &&
+                 unordered.count(m[1].str())) {
+        findings.push_back(
+            {file, lineno, "unordered-iteration",
+             "iterator over std::unordered container '" + m[1].str() +
+                 "': order depends on hashing/layout and differs per "
+                 "replica; use an ordered container or sort first"});
+      }
+    }
+  }
+
+  if (!suppressed(s, "address-value")) {
+    for (int pline : s.percent_p_lines) {
+      findings.push_back(
+          {file, pline, "address-value",
+           "%p address formatting: the formatted value differs per replica; "
+           "print a replicated identifier instead"});
+    }
+  }
+
+  if (!suppressed(s, "static-local") || !suppressed(s, "uninit-member")) {
+    std::vector<Finding> scoped;
+    scope_rules(file, s.code, scoped);
+    for (Finding& f : scoped) {
+      if (!suppressed(s, f.rule)) findings.push_back(std::move(f));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("detlint: cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return lint_source(path, text.str());
+}
+
+namespace {
+
+bool lintable(const std::filesystem::path& p) {
+  static const std::set<std::string> exts = {".cpp", ".cc", ".cxx",
+                                             ".hpp", ".hh", ".h"};
+  return exts.count(p.extension().string()) != 0;
+}
+
+bool skip_dir(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  return name == "detlint_fixtures" || name.rfind("build", 0) == 0 ||
+         (!name.empty() && name[0] == '.');
+}
+
+}  // namespace
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                std::size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      fs::recursive_directory_iterator it(p), end;
+      while (it != end) {
+        if (it->is_directory() && skip_dir(it->path())) {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path().string());
+        }
+        ++it;
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    std::vector<Finding> fs_ = lint_file(f);
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+  if (files_scanned) *files_scanned = files.size();
+  return findings;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) out << ",";
+    out << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << json_escape(f.rule) << "\",\"message\":\""
+        << json_escape(f.message) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace detlint

@@ -1,0 +1,75 @@
+// detlint — static analysis for replica-nondeterminism sources.
+//
+// Active replication (the paper's core style) is only correct if every
+// replica computes the same state from the same totally-ordered inputs. The
+// paper's hardest-won lesson is that nondeterminism creeps back into
+// application code long after the infrastructure is correct: a stray clock
+// read, an ambient random draw, iteration over a hash container, an
+// address-derived value, or a static mutable local silently diverges
+// replica state and defeats duplicate detection. detlint makes that lesson
+// a *checked invariant*: it lexically scans C++ sources for those patterns
+// and fails the build (it runs as a ctest) when one appears outside an
+// explicitly annotated file.
+//
+// Rules (ids are stable; used by the suppression syntax and the tests):
+//   wall-clock          system_clock/steady_clock/... reads, time(), etc.
+//   ambient-random      ::rand, srand, std::random_device, drand48, ...
+//   unordered-iteration range-for / .begin() over std::unordered_{map,set}
+//   address-value       pointer-to-integer casts, %p formatting, hashing
+//                       pointers — address-dependent values
+//   static-local        static mutable locals in function scope
+//   uninit-member       primitive data member with no initializer
+//
+// Suppression is per file: a comment anywhere in the file of the form
+//     // detlint:allow(wall-clock)
+//     // detlint:allow(wall-clock,ambient-random)
+// disables those rules for that file (the obs and bench layers legitimately
+// read clocks; the simulator owns the seeded PRNG).
+//
+// The analysis is lexical (comments and string literals are stripped first,
+// with light scope tracking for the class/function-sensitive rules). That
+// is deliberate: it needs no compiler integration, runs in milliseconds
+// over the whole tree, and the rules target patterns that are recognizable
+// at the token level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// All rule ids, in reporting order.
+const std::vector<std::string>& rule_ids();
+
+/// Lint one translation unit given its text (file name is used only for
+/// reporting). Honors `detlint:allow(...)` comments found in `text`.
+std::vector<Finding> lint_source(const std::string& file,
+                                 const std::string& text);
+
+/// Lint a file on disk. Throws std::runtime_error if unreadable.
+std::vector<Finding> lint_file(const std::string& path);
+
+/// Lint files and/or directories. Directories are walked recursively for
+/// .cpp/.cc/.cxx/.hpp/.hh/.h files; directories named `detlint_fixtures`,
+/// `build*` or starting with '.' are skipped (fixture files passed
+/// explicitly are still linted). Returns findings sorted by (file, line).
+/// `files_scanned`, when non-null, receives the number of files linted.
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
+                                std::size_t* files_scanned = nullptr);
+
+/// `file:line: [rule] message`, one finding per line.
+std::string to_text(const std::vector<Finding>& findings);
+
+/// Machine-readable JSON: {"findings":[{file,line,rule,message},...]}.
+std::string to_json(const std::vector<Finding>& findings);
+
+}  // namespace detlint
