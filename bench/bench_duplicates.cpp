@@ -14,11 +14,11 @@ using namespace eternal::bench;
 namespace {
 
 struct Result {
-  std::uint64_t multicasts;
-  std::uint64_t bytes;
-  std::uint64_t suppressed;
-  std::uint64_t dups_dropped;
-  std::uint64_t executions;
+  std::uint64_t multicasts = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t dups_dropped = 0;
+  std::uint64_t executions = 0;
 };
 
 Result measure(bool suppression, int transfers) {

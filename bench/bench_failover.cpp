@@ -18,8 +18,8 @@ using namespace eternal::bench;
 namespace {
 
 struct Result {
-  double blackout_ms;
-  double steady_latency_us;
+  double blackout_ms = 0;
+  double steady_latency_us = 0;
 };
 
 cdr::Bytes put_arg(int i) {

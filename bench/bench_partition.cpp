@@ -18,9 +18,9 @@ using namespace eternal::bench;
 namespace {
 
 struct Result {
-  double secondary_lat_us;  // client latency inside the minority component
-  double reconcile_ms;      // heal -> replicas consistent
-  std::uint64_t replayed;
+  double secondary_lat_us = 0;  // client latency inside the minority component
+  double reconcile_ms = 0;      // heal -> replicas consistent
+  std::uint64_t replayed = 0;
 };
 
 Result measure(int secondary_ops, std::uint64_t seed) {

@@ -12,8 +12,8 @@ using namespace eternal::bench;
 namespace {
 
 struct Point {
-  double latency_us;
-  double ops_per_sec;
+  double latency_us = 0;
+  double ops_per_sec = 0;
 };
 
 Point measure(rep::Style style, std::size_t replicas) {
@@ -36,7 +36,7 @@ Point measure(rep::Style style, std::size_t replicas) {
 
   // Throughput: pipeline a batch of asynchronous invocations.
   const int batch = 300;
-  std::vector<orb::Future<cdr::Bytes>> futs;
+  std::vector<rep::Invocation> futs;
   const sim::Time start = c.sim.now();
   for (int i = 0; i < batch; ++i) {
     futs.push_back(c.domain.client(client).invoke("ctr", "incr", i64_arg(1)));

@@ -17,9 +17,9 @@ using namespace eternal::bench;
 namespace {
 
 struct Result {
-  double sync_ms;
-  double worst_client_us;
-  std::size_t state_bytes;
+  double sync_ms = 0;
+  double worst_client_us = 0;
+  std::size_t state_bytes = 0;
 };
 
 Result measure(std::size_t entries, std::uint32_t chunk_bytes) {

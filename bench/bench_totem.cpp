@@ -15,8 +15,8 @@ using namespace eternal::bench;
 namespace {
 
 struct Result {
-  double latency_us;   // send -> delivered at every node (mean)
-  double ops_per_sec;  // sustained ordered messages/second
+  double latency_us = 0;   // send -> delivered at every node (mean)
+  double ops_per_sec = 0;  // sustained ordered messages/second
 };
 
 Result measure(std::size_t nodes, bool safe) {

@@ -10,9 +10,10 @@
 //
 //   $ ./auto_inventory
 #include <cstdio>
+#include <tuple>
 
 #include "app/servants.hpp"
-#include "rep/domain.hpp"
+#include "ft/replication_manager.hpp"
 
 using namespace eternal;
 
@@ -22,21 +23,11 @@ constexpr sim::NodeId kFactory = 0;
 constexpr sim::NodeId kShowroomA = 1;
 constexpr sim::NodeId kShowroomB = 2;
 
-std::string sell(rep::Domain& domain, sim::NodeId showroom) {
-  cdr::Bytes reply =
-      domain.client(showroom).invoke_blocking("inventory", "sell", {});
-  cdr::Decoder dec(reply);
-  return dec.get_string();
-}
-
 void report(rep::Domain& domain, sim::NodeId node, const char* who) {
-  cdr::Bytes reply =
-      domain.client(node).invoke_blocking("inventory", "report", {});
-  cdr::Decoder dec(reply);
-  const auto stock = dec.get_longlong();
-  const auto shipped = dec.get_longlong();
-  const auto back = dec.get_longlong();
-  const auto rush = dec.get_longlong();
+  const auto [stock, shipped, back, rush] =
+      domain.ref(node, "inventory")
+          .call<std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                           std::int64_t>>("report");
   std::printf("  [%s] stock=%lld shipped=%lld back_orders=%lld "
               "rush_orders=%lld\n",
               who, static_cast<long long>(stock),
@@ -51,19 +42,28 @@ int main() {
   sim::Network net(sim, 4);
   totem::Fabric fabric(sim, net);
   rep::Domain domain(fabric);
+  ft::FaultNotifier notifier;
+  ft::ReplicationManager rm(domain, notifier);
   fabric.start_all();
   fabric.run_until_converged(2 * sim::kSecond);
 
-  domain.host_on<app::Inventory>(
-      rep::GroupConfig{"inventory", rep::Style::Active},
-      {kFactory, kShowroomA, kShowroomB});
+  // Minimum of 1: a partitioned showroom keeps operating on its own, and
+  // the manager must not "repair" the group by spawning extra replicas.
+  ft::Properties props;
+  props.replication_style = rep::Style::Active;
+  props.initial_number_replicas = 3;
+  props.minimum_number_replicas = 1;
+  rm.create_object<app::Inventory>(
+      "inventory", props,
+      std::vector<sim::NodeId>{kFactory, kShowroomA, kShowroomB});
   sim.run_for(sim::kSecond);
 
+  auto sell = [&](sim::NodeId showroom) {
+    return domain.ref(showroom, "inventory").call<std::string>("sell");
+  };
+
   // The factory manufactures two automobiles.
-  cdr::Encoder make;
-  make.put_longlong(2);
-  domain.client(kFactory).invoke_blocking("inventory", "manufacture",
-                                          make.take());
+  domain.ref(kFactory, "inventory").call("manufacture", std::int64_t{2});
   std::printf("factory manufactured 2 cars\n");
   report(domain, kFactory, "factory");
 
@@ -75,12 +75,12 @@ int main() {
 
   // Both showrooms sell a car; B's sale happens in the secondary component
   // and is queued as a fulfillment operation.
-  std::printf("showroom A sells: %s\n", sell(domain, kShowroomA).c_str());
+  std::printf("showroom A sells: %s\n", sell(kShowroomA).c_str());
   std::printf("showroom B sells: %s   (disconnected: recorded for "
               "fulfillment)\n",
-              sell(domain, kShowroomB).c_str());
+              sell(kShowroomB).c_str());
   std::printf("showroom B sells: %s   (the same car A already sold!)\n",
-              sell(domain, kShowroomB).c_str());
+              sell(kShowroomB).c_str());
   report(domain, kShowroomA, "primary component ");
   report(domain, kShowroomB, "secondary component");
 

@@ -12,17 +12,14 @@
 #include <cstdio>
 
 #include "app/servants.hpp"
-#include "rep/domain.hpp"
+#include "ft/replication_manager.hpp"
 
 using namespace eternal;
 
 namespace {
 
 std::int64_t money(rep::Domain& domain, const std::string& account) {
-  cdr::Bytes reply =
-      domain.client(5).invoke_blocking(account, "balance", {});
-  cdr::Decoder dec(reply);
-  return dec.get_longlong();
+  return domain.ref(5, account).call<std::int64_t>("balance");
 }
 
 }  // namespace
@@ -32,31 +29,39 @@ int main() {
   sim::Network net(sim, 6);
   totem::Fabric fabric(sim, net);
   rep::Domain domain(fabric);
+  ft::FaultNotifier notifier;
+  ft::ReplicationManager rm(domain, notifier);
   fabric.start_all();
   fabric.run_until_converged(2 * sim::kSecond);
 
-  domain.host_on<app::Teller>(
-      rep::GroupConfig{"teller", rep::Style::WarmPassive}, {0, 1});
-  domain.host_on<app::Account>(
-      rep::GroupConfig{"checking", rep::Style::Active}, {2, 3});
-  domain.host_on<app::Account>(
-      rep::GroupConfig{"savings", rep::Style::Active}, {3, 4});
+  // Minimum of 1 keeps the manager from respawning a teller replica after
+  // the deliberate mid-chain crash below — this example is about failover,
+  // not recovery placement.
+  ft::Properties teller_props;
+  teller_props.replication_style = rep::Style::WarmPassive;
+  teller_props.initial_number_replicas = 2;
+  teller_props.minimum_number_replicas = 1;
+  rm.create_object<app::Teller>("teller", teller_props,
+                                std::vector<sim::NodeId>{0, 1});
+  ft::Properties account_props;
+  account_props.replication_style = rep::Style::Active;
+  account_props.initial_number_replicas = 2;
+  account_props.minimum_number_replicas = 1;
+  rm.create_object<app::Account>("checking", account_props,
+                                 std::vector<sim::NodeId>{2, 3});
+  rm.create_object<app::Account>("savings", account_props,
+                                 std::vector<sim::NodeId>{3, 4});
   sim.run_for(sim::kSecond);
 
-  cdr::Encoder dep;
-  dep.put_longlong(500);
-  domain.client(5).invoke_blocking("checking", "deposit", dep.take());
+  rep::GroupRef teller = domain.ref(5, "teller");
+  domain.ref(5, "checking").call("deposit", std::int64_t{500});
   std::printf("checking=%lld savings=%lld\n",
               static_cast<long long>(money(domain, "checking")),
               static_cast<long long>(money(domain, "savings")));
 
-  // A normal nested transfer.
+  // A normal nested transfer, issued pipelined so we can watch it land.
   auto transfer = [&](std::int64_t amount) {
-    cdr::Encoder args;
-    args.put_string("checking");
-    args.put_string("savings");
-    args.put_longlong(amount);
-    return domain.client(5).invoke("teller", "transfer", args.take());
+    return teller.invoke("transfer", "checking", "savings", amount);
   };
   {
     auto fut = transfer(100);
@@ -83,11 +88,7 @@ int main() {
   // An overdraft propagates the user exception through the whole chain.
   std::printf("\n-- transfer(10000): overdraft --\n");
   try {
-    cdr::Encoder args;
-    args.put_string("checking");
-    args.put_string("savings");
-    args.put_longlong(10000);
-    domain.client(5).invoke_blocking("teller", "transfer", args.take());
+    teller.call("transfer", "checking", "savings", std::int64_t{10000});
     std::printf("unexpectedly succeeded\n");
   } catch (const orb::SystemException& e) {
     std::printf("rejected: %s\n", e.exception_id().c_str());

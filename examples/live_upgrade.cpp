@@ -8,6 +8,7 @@
 //
 //   $ ./live_upgrade
 #include <cstdio>
+#include <tuple>
 
 #include "app/servants.hpp"
 #include "ft/replication_manager.hpp"
@@ -24,32 +25,24 @@ int main() {
   fabric.start_all();
   fabric.run_until_converged(2 * sim::kSecond);
 
-  rm.register_factory(
-      "kv", [](sim::NodeId) { return std::make_shared<app::KvStore>(); });
   ft::Properties props;
   props.replication_style = rep::Style::Active;
   props.initial_number_replicas = 3;
   props.minimum_number_replicas = 2;
-  rm.properties().set_properties("kv", props);
-  rm.create_object("kv", std::vector<sim::NodeId>{0, 1, 2});
+  rm.create_object<app::KvStore>("kv", props,
+                                 std::vector<sim::NodeId>{0, 1, 2});
   sim.run_for(sim::kSecond);
 
-  rep::Client& client = domain.client(6);
+  rep::GroupRef kv = domain.ref(6, "kv");
   std::uint64_t writes = 0;
   auto put = [&](const std::string& k, const std::string& v) {
-    cdr::Encoder args;
-    args.put_string(k);
-    args.put_string(v);
-    client.invoke_blocking("kv", "put", args.take());
+    kv.call("put", k, v);
     ++writes;
   };
   auto get = [&](const std::string& k) {
-    cdr::Encoder args;
-    args.put_string(k);
-    cdr::Bytes reply = client.invoke_blocking("kv", "get", args.take());
-    cdr::Decoder dec(reply);
-    dec.get_boolean();
-    return dec.get_string();
+    auto [found, value] = kv.call<std::tuple<bool, std::string>>("get", k);
+    (void)found;
+    return value;
   };
 
   put("release", "v1");

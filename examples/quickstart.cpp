@@ -25,31 +25,23 @@ int main() {
   fabric.run_until_converged(2 * sim::kSecond);
 
   // Create a counter object group: 3 active replicas, self-healing to 3.
-  rm.register_factory("counter",
-                      [](sim::NodeId) { return std::make_shared<app::Counter>(); });
   ft::Properties props;
   props.replication_style = rep::Style::Active;
   props.initial_number_replicas = 3;
   props.minimum_number_replicas = 3;
-  rm.properties().set_properties("counter", props);
-  ft::Iogr ref = rm.create_object("counter");
+  ft::Iogr ref = rm.create_object<app::Counter>("counter", props);
   sim.run_for(sim::kSecond);
 
   std::printf("counter group created: %s v%u with %zu replicas\n",
               ref.group.c_str(), ref.version, ref.profiles.size());
 
   // A client on processor 4 invokes transparently through the group name.
-  rep::Client& client = domain.client(4);
-  auto incr = [&](std::int64_t d) {
-    cdr::Encoder args;
-    args.put_longlong(d);
-    cdr::Bytes reply = client.invoke_blocking("counter", "incr", args.take());
-    cdr::Decoder dec(reply);
-    return dec.get_longlong();
-  };
+  rep::GroupRef counter = domain.ref(4, "counter");
 
-  std::printf("incr(10) -> %lld\n", static_cast<long long>(incr(10)));
-  std::printf("incr(5)  -> %lld\n", static_cast<long long>(incr(5)));
+  std::printf("incr(10) -> %lld\n",
+              static_cast<long long>(counter.call<std::int64_t>("incr", std::int64_t{10})));
+  std::printf("incr(5)  -> %lld\n",
+              static_cast<long long>(counter.call<std::int64_t>("incr", std::int64_t{5})));
 
   // Kill a replica mid-service. The infrastructure detects it, the two
   // survivors keep answering, and the ReplicationManager spawns a
@@ -59,7 +51,7 @@ int main() {
   fabric.crash(victims[0]);
 
   std::printf("incr(1)  -> %lld   (no client-visible failure)\n",
-              static_cast<long long>(incr(1)));
+              static_cast<long long>(counter.call<std::int64_t>("incr", std::int64_t{1})));
   sim.run_for(3 * sim::kSecond);
 
   std::printf("replicas now on:");
@@ -67,7 +59,8 @@ int main() {
   std::printf("   (auto-respawned: %llu)\n",
               static_cast<unsigned long long>(rm.replicas_spawned()));
 
-  std::printf("incr(4)  -> %lld\n", static_cast<long long>(incr(4)));
+  std::printf("incr(4)  -> %lld\n",
+              static_cast<long long>(counter.call<std::int64_t>("incr", std::int64_t{4})));
   std::printf("done: final value 20, three healthy replicas, zero lost or "
               "duplicated operations\n");
   return 0;

@@ -75,6 +75,22 @@ class ReplicationManager {
   Iogr create_object(const std::string& group,
                      std::optional<std::vector<sim::NodeId>> nodes = {});
 
+  /// One-shot group creation (DESIGN.md §4): registers a default-constructed
+  /// ServantT factory, sets the group's fault-tolerance properties and
+  /// places the initial replicas:
+  ///   rm.create_object<app::Counter>("counter", props, {{0, 1, 2}});
+  /// The three-step path (register_factory / properties / create_object)
+  /// remains the primitive underneath for factories that need per-node
+  /// construction arguments.
+  template <typename ServantT>
+  Iogr create_object(const std::string& group, const Properties& props,
+                     std::optional<std::vector<sim::NodeId>> nodes = {}) {
+    register_factory(
+        group, [](sim::NodeId) { return std::make_shared<ServantT>(); });
+    properties_.set_properties(group, props);
+    return create_object(group, std::move(nodes));
+  }
+
   /// ObjectGroupManager.
   Iogr add_member(const std::string& group, sim::NodeId node);
   Iogr remove_member(const std::string& group, sim::NodeId node);

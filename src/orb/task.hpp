@@ -132,6 +132,14 @@ class Future {
   }
   bool ready() const noexcept { return state_->ready(); }
 
+  /// Extract the settled result: the value, or rethrow the carried error.
+  /// Precondition: ready(). Blocking consumers (Invocation::get) use this
+  /// after driving the event loop to completion.
+  T take() {
+    if (state_->error) std::rethrow_exception(state_->error);
+    return std::move(*state_->value);
+  }
+
   /// Plain-callback consumption (used by non-coroutine client stubs).
   void then(std::function<void(State&)> cb) {
     if (state_->ready()) {

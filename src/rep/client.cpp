@@ -1,6 +1,26 @@
 #include "rep/engine.hpp"
 
+#include "orb/exceptions.hpp"
+
 namespace eternal::rep {
+
+cdr::Bytes Invocation::get(sim::Time timeout) {
+  sim::Simulation& sim = client_->engine_.simulation();
+  const sim::Time deadline = sim.now() + timeout;
+  while (!future_.ready() && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+  if (!future_.ready()) {
+    cancel();  // this operation only; pipelined siblings keep retrying
+    throw orb::timeout();
+  }
+  return future_.take();
+}
+
+void Invocation::cancel() {
+  if (client_ == nullptr) return;
+  client_->abandon(id_);
+}
 
 Client::Client(Engine& engine, std::string name)
     : engine_(engine),
@@ -16,9 +36,16 @@ Client::~Client() {
   for (auto& [op, out] : outstanding_) out.retry.cancel();
 }
 
-orb::Future<cdr::Bytes> Client::invoke(const std::string& group,
-                                       const std::string& op,
-                                       cdr::Bytes args) {
+Invocation Client::invoke(const std::string& group, const std::string& op,
+                          cdr::Bytes args) {
+  // Backpressure: refuse new work while the Totem send queue is full or the
+  // configured pipelining cap is reached. TRANSIENT tells the caller to
+  // drain some outstanding invocations (step the simulation) and retry.
+  if (engine_.send_queue_full() ||
+      (max_outstanding_ != 0 && outstanding_.size() >= max_outstanding_)) {
+    throw orb::transient();
+  }
+
   OperationId op_id;
   // Top-level calls get a synthetic parent coordinate in epoch 0: unique
   // because exactly one unreplicated client driver exists per node.
@@ -81,7 +108,16 @@ orb::Future<cdr::Bytes> Client::invoke(const std::string& group,
   });
 
   engine_.send_invocation(std::move(env), /*rank=*/0);
-  return outer;
+  return Invocation(this, op_id, std::move(outer));
+}
+
+void Client::abandon(const OperationId& op) {
+  auto it = outstanding_.find(op);
+  if (it != outstanding_.end()) {
+    it->second.retry.cancel();
+    outstanding_.erase(it);
+  }
+  engine_.cancel_reply(reply_group_, op);
 }
 
 void Client::retransmit_arm(const OperationId& op) {
@@ -107,31 +143,7 @@ void Client::retransmit_arm(const OperationId& op) {
 cdr::Bytes Client::invoke_blocking(const std::string& group,
                                    const std::string& op, cdr::Bytes args,
                                    sim::Time timeout) {
-  auto fut = invoke(group, op, std::move(args));
-  sim::Simulation& sim = engine_.simulation();
-  const sim::Time deadline = sim.now() + timeout;
-  while (!fut.ready() && sim.now() < deadline) {
-    if (!sim.step()) break;
-  }
-  if (!fut.ready()) {
-    // Give up: remove the bookkeeping so a late reply is ignored.
-    for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
-      it->second.retry.cancel();
-    }
-    outstanding_.clear();
-    throw orb::timeout();
-  }
-  cdr::Bytes out;
-  std::exception_ptr failure;
-  fut.then([&](orb::Future<cdr::Bytes>::State& st) {
-    if (st.error) {
-      failure = st.error;
-    } else {
-      out = std::move(*st.value);
-    }
-  });
-  if (failure) std::rethrow_exception(failure);
-  return out;
+  return invoke(group, op, std::move(args)).get(timeout);
 }
 
 }  // namespace eternal::rep

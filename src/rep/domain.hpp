@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rep/engine.hpp"
+#include "rep/stub.hpp"
 #include "totem/fabric.hpp"
 
 namespace eternal::rep {
@@ -21,6 +22,12 @@ class Domain {
 
   Engine& engine(NodeId id) { return *engines_.at(id); }
   Client& client(NodeId id) { return engines_.at(id)->client(); }
+
+  /// Typed stub for `group`, invoked from processor `id` (DESIGN.md §4):
+  ///   domain.ref(4, "counter").call<std::int64_t>("incr", 10)
+  GroupRef ref(NodeId id, std::string group) {
+    return GroupRef(client(id), std::move(group));
+  }
 
   /// Restart a crashed processor: the protocol stack restarts with empty
   /// state and the engine drops everything the crashed process held.

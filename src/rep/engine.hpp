@@ -181,6 +181,11 @@ class Engine {
   /// The node's default (unreplicated) client stub.
   Client& client();
 
+  /// Sender flow control, surfaced from the Totem send queue: when true,
+  /// Client::invoke refuses new work with TRANSIENT until the token has
+  /// drained the backlog.
+  bool send_queue_full() const { return groups_.node().send_queue_full(); }
+
   /// Observer for every group view change (hosted or not); used by the
   /// FT-CORBA management layer (ReplicationManager).
   void set_view_observer(std::function<void(const totem::GroupView&)> fn) {
@@ -358,10 +363,56 @@ class Engine {
   std::function<void(const DivergenceReport&)> divergence_observer_;
 };
 
+/// Handle to one in-flight client invocation. Returned by Client::invoke;
+/// any number may be outstanding per client (pipelining). Completable three
+/// ways: `co_await inv` from a coroutine, `inv.then(cb)` for callbacks, or
+/// `inv.get(timeout)` which drives the simulation until the reply arrives
+/// (replacing the old invoke_blocking loop). Abandoning via get()'s timeout
+/// or cancel() removes only *this* operation's retransmit state — sibling
+/// pipelined invocations are untouched.
+class Invocation {
+ public:
+  Invocation() = default;
+
+  bool valid() const noexcept { return client_ != nullptr; }
+  const OperationId& id() const noexcept { return id_; }
+  bool ready() const noexcept { return future_.ready(); }
+  orb::Future<cdr::Bytes>& future() noexcept { return future_; }
+
+  /// Callback completion; fires immediately if already settled.
+  void then(std::function<void(orb::Future<cdr::Bytes>::State&)> cb) {
+    future_.then(std::move(cb));
+  }
+
+  /// Coroutine completion.
+  auto operator co_await() const { return future_.operator co_await(); }
+
+  /// Drive the simulation until the reply arrives or `timeout` elapses; on
+  /// timeout, abandon this operation (stop its retransmits, ignore a late
+  /// reply) and throw the TIMEOUT system exception.
+  cdr::Bytes get(sim::Time timeout = 5 * sim::kSecond);
+
+  /// Abandon the operation: cancel retransmission and reply interest. The
+  /// operation may still execute server-side; the reply is dropped.
+  void cancel();
+
+ private:
+  friend class Client;
+  Invocation(Client* client, OperationId id, orb::Future<cdr::Bytes> future)
+      : client_(client), id_(id), future_(std::move(future)) {}
+
+  Client* client_ = nullptr;
+  OperationId id_{};
+  orb::Future<cdr::Bytes> future_;
+};
+
 /// Client stub: the unreplicated invoker used by applications, examples and
 /// benches. Retransmits unanswered invocations under the same operation
 /// identifier (the FT_REQUEST pattern), so a failover never causes a lost
-/// or duplicated operation.
+/// or duplicated operation. Any number of invocations may be outstanding at
+/// once (each under its own operation identifier); when the Totem send
+/// queue is full, or the configured max_outstanding is reached, invoke
+/// pushes back by throwing the TRANSIENT system exception.
 class Client {
  public:
   Client(Engine& engine, std::string name);
@@ -369,10 +420,11 @@ class Client {
 
   const std::string& reply_group() const { return reply_group_; }
 
-  /// Asynchronous invocation; the future resolves with the GIOP reply body
-  /// or rejects with the carried SystemException.
-  orb::Future<cdr::Bytes> invoke(const std::string& group,
-                                 const std::string& op, cdr::Bytes args);
+  /// Asynchronous, pipelined invocation. The handle's future resolves with
+  /// the GIOP reply body or rejects with the carried SystemException.
+  /// Throws TRANSIENT (backpressure) when the send queue is full.
+  Invocation invoke(const std::string& group, const std::string& op,
+                    cdr::Bytes args);
 
   /// Drive the simulation until the reply arrives or `timeout` elapses
   /// (TIMEOUT system exception). For tests, examples and benches.
@@ -381,15 +433,23 @@ class Client {
                              sim::Time timeout = 5 * sim::kSecond);
 
   void set_retry_interval(sim::Time t) { retry_interval_ = t; }
+  /// Client-side pipelining cap; 0 = no cap (engine backpressure only).
+  void set_max_outstanding(std::size_t n) { max_outstanding_ = n; }
+  std::size_t outstanding() const noexcept { return outstanding_.size(); }
 
  private:
+  friend class Invocation;
   void retransmit_arm(const OperationId& op);
+  /// Per-operation cleanup: cancel the retry timer, drop the envelope and
+  /// the reply expectation for `op` — and nothing else.
+  void abandon(const OperationId& op);
 
   Engine& engine_;
   std::string reply_group_;
   obs::Histogram& rtt_us_;  // client-observed end-to-end latency
   std::uint64_t next_op_ = 1;
   sim::Time retry_interval_ = 100 * sim::kMillisecond;
+  std::size_t max_outstanding_ = 0;
   struct Outstanding {
     Envelope env;
     sim::TimerHandle retry;

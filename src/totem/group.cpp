@@ -7,7 +7,7 @@
 namespace eternal::totem {
 
 GroupLayer::GroupLayer(Node& node) : node_(node) {
-  node_.set_deliver([this](const Delivered& d) { on_deliver(d); });
+  node_.set_deliver([this](Delivered&& d) { on_deliver(std::move(d)); });
   node_.set_view([this](const ViewEvent& v) { on_view(v); });
 }
 
@@ -60,19 +60,19 @@ void GroupLayer::handle_announce(NodeId origin, const Bytes& payload) {
   recompute_and_fire();
 }
 
-void GroupLayer::on_deliver(const Delivered& d) {
+void GroupLayer::on_deliver(Delivered&& d) {
   if (d.control) {
     if (d.group == kAnnounceGroup) handle_announce(d.origin, d.payload);
     return;
   }
   GroupMessage msg;
-  msg.group = d.group;
+  msg.group = std::move(d.group);
   msg.sender = d.origin;
   msg.ring = d.ring;
   msg.seq = d.seq;
   msg.transitional = d.transitional;
-  msg.payload = d.payload;
-  auto it = subscribers_.find(d.group);
+  msg.payload = std::move(d.payload);  // delivery owns the event: no copy
+  auto it = subscribers_.find(msg.group);
   if (it != subscribers_.end()) it->second(msg);
   if (catch_all_) catch_all_(msg);
 }

@@ -92,7 +92,7 @@ class GroupLayer {
   RingId ring() const { return node_.ring_id(); }
 
  private:
-  void on_deliver(const Delivered& d);
+  void on_deliver(Delivered&& d);
   void on_view(const ViewEvent& v);
   void handle_announce(NodeId origin, const Bytes& payload);
   void announce();

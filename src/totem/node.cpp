@@ -28,7 +28,9 @@ NodeCounters::NodeCounters(obs::Registry& reg, NodeId id)
       token_visits(reg.counter(obs::node_metric("totem", "token_visits", id))),
       token_losses(reg.counter(obs::node_metric("totem", "token_losses", id))),
       views_installed(
-          reg.counter(obs::node_metric("totem", "views_installed", id))) {}
+          reg.counter(obs::node_metric("totem", "views_installed", id))),
+      batch_frames(
+          reg.counter(obs::node_metric("totem", "batch_frames", id))) {}
 
 void NodeCounters::reset() noexcept {
   broadcasts.reset();
@@ -37,12 +39,14 @@ void NodeCounters::reset() noexcept {
   token_visits.reset();
   token_losses.reset();
   views_installed.reset();
+  batch_frames.reset();
 }
 
 NodeStats NodeCounters::snapshot() const noexcept {
   return NodeStats{broadcasts.value(),   delivered.value(),
                    retransmissions.value(), token_visits.value(),
-                   token_losses.value(), views_installed.value()};
+                   token_losses.value(), views_installed.value(),
+                   batch_frames.value()};
 }
 
 Node::Node(sim::Simulation& sim, sim::Network& net, NodeId id, Params params)
@@ -109,6 +113,7 @@ void Node::on_receive(NodeId /*from*/, const Bytes& wire) {
   Packet pkt = decode_packet(wire);
   switch (pkt.kind) {
     case MsgKind::Data: handle_data(pkt.data); break;
+    case MsgKind::Batch: handle_batch(pkt.batch); break;
     case MsgKind::Token: handle_token(std::move(pkt.token)); break;
     case MsgKind::Join: handle_join(pkt.join); break;
     case MsgKind::Commit: handle_commit(std::move(pkt.commit)); break;
@@ -152,6 +157,28 @@ void Node::handle_data(const DataMsg& d) {
   try_deliver();
 }
 
+void Node::handle_batch(const BatchMsg& b) {
+  // Unpack before anything else: each inner message is stored individually,
+  // so retransmission, aru accounting and recovery never see batches.
+  const bool on_current =
+      cur_.id.valid() && b.ring == cur_.id &&
+      (state_ == State::Operational || state_ == State::Recovery);
+  std::uint64_t high = 0;
+  for (const DataMsg& d : b.msgs) {
+    store_data(d);
+    high = std::max(high, d.seq);
+  }
+  if (!on_current) return;
+  if (last_sent_token_ && high > last_sent_token_->seq) {
+    token_retransmit_timer_.cancel();
+  }
+  if (token_loss_timer_.active()) {
+    token_loss_timer_.cancel();
+    arm_token_loss();
+  }
+  try_deliver();
+}
+
 void Node::try_deliver() {
   const std::uint64_t limit =
       params_.safe_delivery ? std::min(cur_.my_aru, cur_.safe) : cur_.my_aru;
@@ -159,12 +186,14 @@ void Node::try_deliver() {
     auto it = cur_.received.find(cur_.delivered + 1);
     if (it == cur_.received.end()) break;  // should not happen below aru
     ++cur_.delivered;
-    dispatch(it->second, /*transitional=*/false);
+    // Not movable: the message must stay in `received` to serve
+    // retransmission requests until it is safe-GC'd.
+    dispatch(it->second, /*transitional=*/false, /*movable=*/false);
     if (state_ == State::Down) return;  // a handler halted us
   }
 }
 
-void Node::dispatch(const DataMsg& d, bool transitional) {
+void Node::dispatch(DataMsg& d, bool transitional, bool movable) {
   if (d.flags & kFlagRecovery) {
     // A re-broadcast message from an earlier configuration: unwrap and file
     // it under that configuration so the flush can deliver it in old order.
@@ -193,8 +222,8 @@ void Node::dispatch(const DataMsg& d, bool transitional) {
     ev.control = (d.flags & kFlagControl) != 0;
     ev.transitional = transitional;
     ev.group = d.group;
-    ev.payload = d.payload;
-    deliver_(ev);
+    ev.payload = movable ? std::move(d.payload) : d.payload;
+    deliver_(std::move(ev));
   }
 }
 
@@ -259,7 +288,13 @@ void Node::handle_token(TokenMsg t) {
     }
   }
 
-  // Broadcast pending messages, recovery rebroadcasts first.
+  // Broadcast pending messages, recovery rebroadcasts first. The window
+  // caps *frames* per token visit. Recovery rebroadcasts always go as plain
+  // Data frames (they carry old-ring coordinates) and may use the whole
+  // window: recovery must finish fast. Fresh sends are packed up to
+  // max_batch messages per Batch frame; with batching on, a node also
+  // limits itself to a fair share of the window so the token keeps rotating
+  // quickly while several members drain backlogs.
   std::uint32_t budget = params_.window;
   auto send_from = [&](std::deque<DataMsg>& queue) {
     while (budget > 0 && !queue.empty()) {
@@ -278,7 +313,48 @@ void Node::handle_token(TokenMsg t) {
   };
   send_from(recovery_pending_);
   if (state_ == State::Operational) {
-    send_from(pending_);
+    if (params_.max_batch <= 1) {
+      send_from(pending_);  // batching disabled: the seed's exact behaviour
+    } else {
+      std::uint32_t fair = budget;
+      if (cur_.members.size() > 1) {
+        fair = std::min(
+            budget,
+            std::max<std::uint32_t>(
+                1, params_.window /
+                       static_cast<std::uint32_t>(cur_.members.size())));
+      }
+      while (fair > 0 && !pending_.empty()) {
+        Packet pkt;
+        pkt.kind = MsgKind::Batch;
+        pkt.batch.ring = cur_.id;
+        pkt.batch.origin = id_;
+        while (pkt.batch.msgs.size() < params_.max_batch &&
+               !pending_.empty()) {
+          DataMsg d = std::move(pending_.front());
+          pending_.pop_front();
+          d.ring = cur_.id;
+          d.seq = ++t.seq;
+          counters_.broadcasts.inc();
+          pkt.batch.msgs.push_back(std::move(d));
+        }
+        if (pkt.batch.msgs.size() == 1) {
+          // A lone message goes as a plain Data frame: on quiet paths the
+          // wire looks exactly as it did before batching existed.
+          pkt.kind = MsgKind::Data;
+          pkt.data = std::move(pkt.batch.msgs.front());
+          pkt.batch.msgs.clear();
+          multicast(pkt);
+          store_data(pkt.data);  // self-delivery
+        } else {
+          multicast(pkt);
+          counters_.batch_frames.inc();
+          for (const DataMsg& d : pkt.batch.msgs) store_data(d);
+        }
+        --fair;
+        --budget;
+      }
+    }
   }
 
   // Request what we are missing below the highest assigned seq.
@@ -651,7 +727,9 @@ void Node::flush_old_ring() {
       gap = true;
       continue;
     }
-    dispatch(it->second, /*transitional=*/gap || params_.safe_delivery);
+    // Movable: old_ is discarded as soon as this flush returns.
+    dispatch(it->second, /*transitional=*/gap || params_.safe_delivery,
+             /*movable=*/true);
   }
   old_->delivered = old_->high;
 }

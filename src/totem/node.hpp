@@ -58,9 +58,18 @@ struct Params {
   sim::Time consensus_timeout = 8 * sim::kMillisecond;
   sim::Time commit_timeout = 40 * sim::kMillisecond;
   sim::Time announce_interval = 50 * sim::kMillisecond;
-  std::uint32_t window = 64;       // max broadcasts per token visit
+  std::uint32_t window = 64;       // max frames broadcast per token visit
   std::uint32_t max_retransmit_entries = 512;
   bool safe_delivery = false;      // ablation: safe instead of agreed
+  /// Max fresh messages packed into one Batch frame per token visit. 1
+  /// disables batching entirely (every message is its own Data frame, and
+  /// no fair-share division of the window applies — the seed's behaviour).
+  std::uint32_t max_batch = 8;
+  /// Sender flow control: when the fresh-send queue holds this many
+  /// messages, Node::send_queue_full() reports true and the client stub
+  /// refuses new invocations with TRANSIENT. The queue itself never drops
+  /// (group-membership control traffic must not be lost). 0 = unbounded.
+  std::uint32_t max_pending = 4096;
 };
 
 /// A message handed up to the layer above, in total order.
@@ -91,6 +100,7 @@ struct NodeStats {
   std::uint64_t token_visits = 0;
   std::uint64_t token_losses = 0;
   std::uint64_t views_installed = 0;
+  std::uint64_t batch_frames = 0;  // Batch frames sent (>= 2 msgs each)
 };
 
 /// Stable handles into the registry for the node's hot-path counters,
@@ -102,6 +112,7 @@ struct NodeCounters {
   obs::Counter& token_visits;
   obs::Counter& token_losses;
   obs::Counter& views_installed;
+  obs::Counter& batch_frames;
 
   NodeCounters(obs::Registry& reg, NodeId id);
   void reset() noexcept;
@@ -110,7 +121,10 @@ struct NodeCounters {
 
 class Node {
  public:
-  using DeliverFn = std::function<void(const Delivered&)>;
+  /// Delivery passes the event by rvalue: the consumer may move the payload
+  /// out (the group layer does), so a message body is copied exactly once
+  /// on its way up — out of the retransmission store.
+  using DeliverFn = std::function<void(Delivered&&)>;
   using ViewFn = std::function<void(const ViewEvent&)>;
 
   Node(sim::Simulation& sim, sim::Network& net, NodeId id, Params params);
@@ -146,6 +160,12 @@ class Node {
   std::size_t backlog() const noexcept {
     return pending_.size() + recovery_pending_.size();
   }
+  /// Sender flow control: true when the fresh-send queue is at capacity.
+  /// Callers that can push back (the client stub) should stop submitting;
+  /// broadcast() itself still accepts, so control traffic is never lost.
+  bool send_queue_full() const noexcept {
+    return params_.max_pending != 0 && pending_.size() >= params_.max_pending;
+  }
 
   /// Entry point wired to the network handler.
   void on_receive(NodeId from, const Bytes& wire);
@@ -171,6 +191,7 @@ class Node {
 
   // --- message handlers ---
   void handle_data(const DataMsg& d);
+  void handle_batch(const BatchMsg& b);
   void handle_token(TokenMsg t);
   void handle_join(const JoinMsg& j);
   void handle_commit(CommitMsg c);
@@ -194,7 +215,9 @@ class Node {
   // --- delivery ---
   void store_data(const DataMsg& d);
   void try_deliver();
-  void dispatch(const DataMsg& d, bool transitional);
+  /// `movable`: the caller no longer needs d (old-ring flush) and the
+  /// payload may be moved out instead of copied.
+  void dispatch(DataMsg& d, bool transitional, bool movable);
   void flush_old_ring();
 
   // --- helpers ---

@@ -74,6 +74,45 @@ DataMsg decode_data_from(cdr::Decoder& dec) {
   return d;
 }
 
+void encode_batch_into(cdr::Encoder& enc, const BatchMsg& b) {
+  put_ring(enc, b.ring);
+  enc.put_ulong(b.origin);
+  enc.put_ulong(static_cast<std::uint32_t>(b.msgs.size()));
+  for (const DataMsg& d : b.msgs) {
+    // Ring and origin are the frame's; recovery messages are never batched,
+    // so no old-ring coordinates per inner message.
+    enc.put_ulonglong(d.seq);
+    enc.put_octet(d.flags);
+    enc.put_string(std::string("g") + d.group);  // never empty on the wire
+    enc.put_octet_seq(d.payload);
+  }
+}
+
+BatchMsg decode_batch_from(cdr::Decoder& dec) {
+  BatchMsg b;
+  b.ring = get_ring(dec);
+  b.origin = dec.get_ulong();
+  const std::uint32_t n = dec.get_ulong();
+  if (n > 65536) throw cdr::MarshalError("implausible batch size");
+  b.msgs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DataMsg d;
+    d.ring = b.ring;
+    d.origin = b.origin;
+    d.seq = dec.get_ulonglong();
+    d.flags = dec.get_octet();
+    if (d.flags & kFlagRecovery) {
+      throw cdr::MarshalError("recovery message inside batch");
+    }
+    std::string g = dec.get_string();
+    if (g.empty() || g[0] != 'g') throw cdr::MarshalError("bad group tag");
+    d.group = g.substr(1);
+    d.payload = dec.get_octet_seq();
+    b.msgs.push_back(std::move(d));
+  }
+  return b;
+}
+
 }  // namespace
 
 Bytes encode_data(const DataMsg& d) {
@@ -93,6 +132,9 @@ Bytes encode(const Packet& pkt) {
   switch (pkt.kind) {
     case MsgKind::Data:
       encode_data_into(enc, pkt.data);
+      break;
+    case MsgKind::Batch:
+      encode_batch_into(enc, pkt.batch);
       break;
     case MsgKind::Token: {
       const TokenMsg& t = pkt.token;
@@ -143,11 +185,14 @@ Packet decode_packet(const Bytes& wire) {
   cdr::Decoder dec(wire);
   Packet pkt;
   const std::uint8_t kind = dec.get_octet();
-  if (kind < 1 || kind > 5) throw cdr::MarshalError("bad totem msg kind");
+  if (kind < 1 || kind > 6) throw cdr::MarshalError("bad totem msg kind");
   pkt.kind = static_cast<MsgKind>(kind);
   switch (pkt.kind) {
     case MsgKind::Data:
       pkt.data = decode_data_from(dec);
+      break;
+    case MsgKind::Batch:
+      pkt.batch = decode_batch_from(dec);
       break;
     case MsgKind::Token: {
       TokenMsg t;

@@ -1,7 +1,10 @@
 // Wire format of the Totem-style single-ring protocol.
 //
-// Five message kinds circulate on the simulated LAN:
+// Six message kinds circulate on the simulated LAN:
 //   Data         — a sequenced broadcast (application payload or control)
+//   Batch        — several sequenced broadcasts from one origin packed into
+//                  a single frame (one token visit); unpacked on receipt so
+//                  the layers above only ever see Data-equivalent messages
 //   Token        — the circulating ring token (unicast to the next member)
 //   Join         — membership gathering (broadcast while forming a ring)
 //   Commit       — the two-pass commit token that installs a new ring
@@ -46,6 +49,7 @@ enum class MsgKind : std::uint8_t {
   Join = 3,
   Commit = 4,
   RingAnnounce = 5,
+  Batch = 6,
 };
 
 /// Flags on Data messages.
@@ -66,6 +70,17 @@ struct DataMsg {
   // originally ordered in, and its sequence number there.
   RingId old_ring;
   std::uint64_t old_seq = 0;
+};
+
+/// Several Data messages from one origin, packed into a single frame during
+/// one token visit. The ring id and origin are shared (encoded once); each
+/// inner message keeps its own sequence number, flags, group and payload, so
+/// unpacking yields ordinary DataMsgs and nothing above the wire notices.
+/// Recovery re-broadcasts (kFlagRecovery) are never batched.
+struct BatchMsg {
+  RingId ring;
+  NodeId origin = 0;
+  std::vector<DataMsg> msgs;
 };
 
 struct TokenMsg {
@@ -115,6 +130,7 @@ struct RingAnnounceMsg {
 struct Packet {
   MsgKind kind = MsgKind::Data;
   DataMsg data;
+  BatchMsg batch;
   TokenMsg token;
   JoinMsg join;
   CommitMsg commit;

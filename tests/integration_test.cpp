@@ -229,6 +229,10 @@ TEST(Integration, DeliberateRemovalIsMaskedLikeAFault) {
   s.rm.remove_member("ctr", 0);
   s.sim.run_for(kSecond);
   EXPECT_EQ(s.incr(3, "ctr"), ++expect);
+  // Let the backup's state update land: the blocking call returns the
+  // moment the *client* has its reply, which can precede the backup's
+  // delivery of the (batched) update by a few simulated microseconds.
+  s.sim.run_for(100 * kMillisecond);
   EXPECT_EQ(s.value_at(1, "ctr"), expect);
   EXPECT_EQ(s.value_at(2, "ctr"), expect);
 }
