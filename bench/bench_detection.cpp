@@ -91,6 +91,6 @@ int main() {
   std::puts("\nshape check: detection ~ interval/2 + timeout; traffic falls "
             "as the interval grows; the group-communication membership "
             "detects faults on its own timescale regardless.");
-  obs_report();
+  obs_report("detection");
   return 0;
 }

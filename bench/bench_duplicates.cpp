@@ -94,6 +94,6 @@ int main() {
               overhead, giop_wire.size());
   std::puts("shape check: suppression saves multicasts and bytes; "
             "executions are identical (exactly-once) either way.");
-  obs_report();
+  obs_report("duplicates");
   return 0;
 }

@@ -88,6 +88,6 @@ int main() {
   std::puts("\nshape check: ACTIVE ~= WARM_PASSIVE (membership-change time "
             "only) << COLD_PASSIVE, whose blackout grows linearly with the "
             "unapplied-update backlog.");
-  obs_report();
+  obs_report("failover");
   return 0;
 }

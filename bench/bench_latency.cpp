@@ -68,6 +68,6 @@ int main() {
   table.print();
   std::puts("\nshape check: FT overhead is a small constant factor, nearly "
             "flat in payload until bandwidth dominates.");
-  obs_report();
+  obs_report("latency");
   return 0;
 }

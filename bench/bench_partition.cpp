@@ -88,6 +88,6 @@ int main() {
             "latency; reconciliation is dominated by re-membership plus "
             "state transfer, with the fulfillment replay adding a sub-linear "
             "tail (the ordered multicast pipelines the queue).");
-  obs_report();
+  obs_report("partition");
   return 0;
 }

@@ -70,6 +70,6 @@ int main() {
   table.print();
   std::puts("\nshape check: mild latency growth with replication degree; "
             "active and passive within a small factor of each other.");
-  obs_report();
+  obs_report("replicas");
   return 0;
 }

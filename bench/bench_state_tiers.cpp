@@ -76,6 +76,6 @@ int main() {
   std::puts("shape check: tier-2 ORB state dominates the checkpoint as the "
             "operation history grows — transferring application state alone "
             "would be incorrect.");
-  obs_report();
+  obs_report("state_tiers");
   return 0;
 }

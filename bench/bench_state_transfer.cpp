@@ -77,6 +77,6 @@ int main() {
   table.print();
   std::puts("\nshape check: sync time linear in state size; chunking keeps "
             "concurrent client latency flat where stop-and-copy spikes.");
-  obs_report();
+  obs_report("state_transfer");
   return 0;
 }

@@ -168,6 +168,6 @@ int main(int argc, char** argv) {
                 "threshold\n");
     return 1;
   }
-  obs_report();
+  obs_report("throughput");
   return 0;
 }

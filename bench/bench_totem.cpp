@@ -81,6 +81,6 @@ int main() {
   table.print();
   std::puts("\nshape check: latency grows ~linearly with ring size; safe "
             "delivery costs roughly an extra token rotation.");
-  obs_report();
+  obs_report("totem");
   return 0;
 }

@@ -30,6 +30,7 @@ struct FtCluster {
     obs::Registry::global().reset();
     obs::Tracer::global().clear();
     obs::Journal::global().clear();
+    obs::FlightRecorder::global().clear();
     fabric.start_all();
     fabric.run_until_converged(2 * sim::kSecond);
     sim.run_for(300 * sim::kMillisecond);
@@ -111,8 +112,20 @@ inline void banner(const std::string& id, const std::string& title) {
 /// registry snapshot (values reflect the most recent cluster — FtCluster
 /// resets telemetry at construction), the lifecycle trace of the last
 /// completed invocation when `ETERNAL_TRACE=1`, and the membership & fault
-/// event journal when it captured anything.
-inline void obs_report() {
+/// event journal when it captured anything. When `name` is non-empty the
+/// same data is also written machine-readable to BENCH_<name>.json in the
+/// working directory, so runs are diffable without scraping stdout.
+inline void obs_report(const std::string& name = {}) {
+  if (!name.empty()) {
+    const std::string path = "BENCH_" + name + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string json = obs::report_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("\n[obs] wrote %s\n", path.c_str());
+    }
+  }
   std::printf("\n### observability — metrics registry snapshot\n\n```\n%s```\n",
               obs::Registry::global().to_text().c_str());
 

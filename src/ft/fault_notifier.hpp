@@ -4,14 +4,21 @@
 // (chiefly the ReplicationManager) react. Mirrors the FT-CORBA
 // FaultNotifier's push-consumer interface without the CosNotification
 // baggage.
+//
+// The report history is bounded (oldest dropped, counted) so a long run
+// with a flapping fault detector cannot grow it without limit. Every push
+// also triggers the flight recorder's fault-conviction dump when one is
+// armed (see obs/recorder.hpp): a crash or divergence report leaves a
+// post-mortem file behind for tools/obsctl.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
-#include <vector>
 
+#include "obs/recorder.hpp"
 #include "sim/network.hpp"
 
 namespace eternal::ft {
@@ -29,6 +36,8 @@ class FaultNotifier {
   using ConsumerId = std::uint64_t;
   using Consumer = std::function<void(const FaultReport&)>;
 
+  static constexpr std::size_t kDefaultHistoryCapacity = 1024;
+
   ConsumerId connect_consumer(Consumer consumer) {
     const ConsumerId id = next_id_++;
     consumers_.emplace(id, std::move(consumer));
@@ -39,17 +48,38 @@ class FaultNotifier {
 
   void push(const FaultReport& report) {
     history_.push_back(report);
+    while (history_.size() > history_capacity_) {
+      history_.pop_front();
+      ++history_dropped_;
+    }
+    // A conviction is the flight recorder's dump trigger: capture the
+    // per-node rings before any reaction (replica replacement, failover
+    // traffic) overwrites the lead-up.
+    obs::FlightRecorder& fr = obs::FlightRecorder::global();
+    if (fr.armed()) {
+      fr.dump_on_fault(report.type, static_cast<std::uint64_t>(report.when));
+    }
     // Copy: a consumer may (dis)connect during delivery.
     auto consumers = consumers_;
     for (auto& [id, consumer] : consumers) consumer(report);
   }
 
-  const std::vector<FaultReport>& history() const { return history_; }
+  const std::deque<FaultReport>& history() const { return history_; }
+  std::uint64_t history_dropped() const noexcept { return history_dropped_; }
+  void set_history_capacity(std::size_t capacity) {
+    history_capacity_ = capacity == 0 ? 1 : capacity;
+    while (history_.size() > history_capacity_) {
+      history_.pop_front();
+      ++history_dropped_;
+    }
+  }
 
  private:
   ConsumerId next_id_ = 1;
   std::map<ConsumerId, Consumer> consumers_;
-  std::vector<FaultReport> history_;
+  std::deque<FaultReport> history_;
+  std::size_t history_capacity_ = kDefaultHistoryCapacity;
+  std::uint64_t history_dropped_ = 0;
 };
 
 }  // namespace eternal::ft

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "obs/recorder.hpp"
+
 namespace eternal::obs {
 
 const char* to_string(EventKind k) {
@@ -47,6 +49,8 @@ void Journal::emit(std::uint64_t time, std::uint32_t node, EventKind kind,
   if (!enabled_) return;
   events_.push_back(
       JournalEvent{time, node, kind, std::move(subject), std::move(detail)});
+  FlightRecorder& fr = FlightRecorder::global();
+  if (fr.enabled()) fr.absorb_event(events_.back());
   if (events_.size() > cap_) {
     events_.pop_front();
     ++dropped_;

@@ -94,6 +94,57 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Percentile summary over a fixed-bucket log-scale histogram. Values land
+/// in geometric buckets growing by 2^(1/8) per bucket (~4.4% worst-case
+/// relative error at the geometric midpoint); 512 buckets span [1, 2^64),
+/// so any simulated-microsecond latency fits without configuration. Exact
+/// min/max are tracked separately and clamp the quantile estimates, making
+/// p0/p100 exact. Observation is lock-free (relaxed atomics), like
+/// Histogram.
+class Summary {
+ public:
+  static constexpr std::size_t kBuckets = 512;
+  static constexpr std::size_t kBucketsPerOctave = 8;  // growth 2^(1/8)
+
+  Summary();
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  double min() const noexcept;  // 0 when empty
+  double max() const noexcept;  // 0 when empty
+
+  /// q in [0, 1]; nearest-rank over the log-scale buckets, clamped to the
+  /// exact observed [min, max]. Returns 0 when empty.
+  double quantile(double q) const noexcept;
+  double p50() const noexcept { return quantile(0.50); }
+  double p90() const noexcept { return quantile(0.90); }
+  double p99() const noexcept { return quantile(0.99); }
+  double p999() const noexcept { return quantile(0.999); }
+
+  /// "count=N mean=M p50=.. p90=.. p99=.. p999=.. max=.."
+  std::string describe() const;
+
+  void reset() noexcept;
+
+ private:
+  static std::size_t bucket_of(double v) noexcept;
+  static double bucket_mid(std::size_t i) noexcept;
+
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
 class Registry {
  public:
   /// Find-or-create. Returned references stay valid for the registry's
@@ -103,15 +154,16 @@ class Registry {
   /// Find-or-create; the shape arguments are only used on first creation.
   Histogram& histogram(const std::string& name, double lo, double hi,
                        std::size_t buckets);
+  Summary& summary(const std::string& name);
 
   /// Zero every metric, keeping registrations (and handles) intact.
   void reset();
 
   /// One `name value` line per metric, sorted by name. Histograms render as
   /// `name count=N mean=M under=U over=O buckets=[lo:count ...]` with empty
-  /// buckets elided.
+  /// buckets elided; summaries as `name count=N mean=M p50=.. ... max=..`.
   std::string to_text() const;
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"summaries":{...}}
   std::string to_json() const;
 
   /// The process-wide default registry all layers register into.
@@ -122,6 +174,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Summary>> summaries_;
 };
 
 /// `layer.metric{node=<id>}` — the registry naming convention for

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 
 namespace eternal::obs {
 
@@ -23,9 +24,46 @@ void configure_from_env() {
     if (const char* j = std::getenv("ETERNAL_JOURNAL"); j && !truthy(j)) {
       Journal::global().enable(false);
     }
+    if (const char* cap = std::getenv("ETERNAL_JOURNAL_CAP")) {
+      const long n = std::atol(cap);
+      if (n > 0) Journal::global().set_capacity(static_cast<std::size_t>(n));
+    }
+    if (const char* dir = std::getenv("ETERNAL_BLACKBOX"); truthy(dir)) {
+      FlightRecorder::global().enable();
+      FlightRecorder::global().set_dump_dir(dir);
+    }
+    if (const char* cap = std::getenv("ETERNAL_BLACKBOX_CAP")) {
+      const long n = std::atol(cap);
+      if (n > 0) {
+        FlightRecorder::global().set_per_node_capacity(
+            static_cast<std::size_t>(n));
+      }
+    }
     return true;
   }();
   (void)once;
+}
+
+std::string report_json() {
+  const Tracer& tracer = Tracer::global();
+  const Journal& journal = Journal::global();
+  const FlightRecorder& flight = FlightRecorder::global();
+  std::ostringstream os;
+  os << "{\"metrics\":" << Registry::global().to_json()
+     << ",\"trace\":{\"enabled\":" << (tracer.enabled() ? "true" : "false")
+     << ",\"recorded\":" << tracer.recorded()
+     << ",\"dropped\":" << tracer.dropped()
+     << ",\"records\":" << (tracer.enabled() ? tracer.dump_json() : "[]")
+     << "},\"journal\":{\"enabled\":" << (journal.enabled() ? "true" : "false")
+     << ",\"size\":" << journal.size()
+     << ",\"dropped\":" << journal.dropped()
+     << ",\"events\":" << journal.dump_json()
+     << "},\"flight\":{\"enabled\":" << (flight.enabled() ? "true" : "false")
+     << ",\"absorbed\":" << flight.absorbed()
+     << ",\"dropped\":" << flight.dropped()
+     << ",\"nodes\":" << flight.nodes()
+     << ",\"fault_dumps\":" << flight.fault_dumps() << "}}";
+  return os.str();
 }
 
 }  // namespace eternal::obs

@@ -1,21 +1,36 @@
 // Umbrella header for the observability subsystem: metrics registry,
-// operation-lifecycle tracing, and the membership & fault event journal.
+// operation-lifecycle tracing, the membership & fault event journal, and
+// the per-node flight recorder.
 //
 // Environment controls (read once by configure_from_env):
 //   ETERNAL_TRACE=1        enable the global operation tracer
 //   ETERNAL_TRACE_CAP=N    tracer ring-buffer capacity (default 8192)
 //   ETERNAL_JOURNAL=0      disable the (default-on) event journal
+//   ETERNAL_JOURNAL_CAP=N  journal capacity (default 4096; oldest dropped)
+//   ETERNAL_BLACKBOX=dir   enable the flight recorder and arm fault dumps
+//                          into `dir` (see obs/recorder.hpp)
+//   ETERNAL_BLACKBOX_CAP=N per-node flight-recorder capacity (default 2048)
 #pragma once
+
+#include <string>
 
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace eternal::obs {
 
-/// Apply the ETERNAL_TRACE / ETERNAL_TRACE_CAP / ETERNAL_JOURNAL environment
-/// variables to the global tracer and journal. Idempotent; benches call it
-/// at startup so observability can be toggled without recompiling.
+/// Apply the ETERNAL_* environment variables above to the global tracer,
+/// journal and flight recorder. Idempotent; benches call it at startup so
+/// observability can be toggled without recompiling.
 void configure_from_env();
+
+/// Machine-readable snapshot of the whole observability state: metrics
+/// registry, tracer and journal status (with the journal's events inline),
+/// and flight-recorder status. The bench harness writes this next to each
+/// bench's stdout tables so the perf trajectory is diffable across runs.
+/// {"metrics":{...},"trace":{...},"journal":{...},"flight":{...}}
+std::string report_json();
 
 }  // namespace eternal::obs

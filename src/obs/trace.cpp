@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/recorder.hpp"
+
 namespace eternal::obs {
 
 const char* to_string(SpanEvent e) {
@@ -25,6 +27,8 @@ const char* to_string(SpanEvent e) {
     case SpanEvent::FulfillmentReplayed: return "fulfillment_replayed";
     case SpanEvent::StateDigestSent: return "state_digest_sent";
     case SpanEvent::DivergenceDetected: return "divergence_detected";
+    case SpanEvent::TokenVisitSend: return "token_visit_send";
+    case SpanEvent::FailoverRetry: return "failover_retry";
   }
   return "?";
 }
@@ -43,12 +47,27 @@ void Tracer::clear() {
   ring_.reserve(cap_);
   next_ = 0;
   total_ = 0;
+  next_span_ = 1;
 }
 
 void Tracer::record(std::uint64_t time, std::uint32_t node, const OpRef& op,
                     SpanEvent event, std::string detail) {
-  if (!enabled_) return;
-  TraceRecord rec{time, node, op, event, std::move(detail)};
+  span(time, time, node, op, event, TraceContext{}, std::move(detail));
+}
+
+std::uint64_t Tracer::span(std::uint64_t begin, std::uint64_t end,
+                           std::uint32_t node, const OpRef& op,
+                           SpanEvent event, const TraceContext& ctx,
+                           std::string detail) {
+  if (!enabled_) return 0;
+  TraceRecord rec{begin,        end,
+                  node,         op,
+                  event,        ctx.trace_id,
+                  next_span_++, ctx.parent_span,
+                  std::move(detail)};
+  FlightRecorder& fr = FlightRecorder::global();
+  if (fr.enabled()) fr.absorb_span(rec);
+  const std::uint64_t id = rec.span_id;
   if (ring_.size() < cap_) {
     ring_.push_back(std::move(rec));
   } else {
@@ -56,6 +75,7 @@ void Tracer::record(std::uint64_t time, std::uint32_t node, const OpRef& op,
   }
   next_ = (next_ + 1) % cap_;
   ++total_;
+  return id;
 }
 
 std::size_t Tracer::size() const noexcept { return ring_.size(); }
@@ -87,6 +107,16 @@ std::vector<TraceRecord> Tracer::records_for(const OpRef& op) const {
   return out;
 }
 
+std::vector<TraceRecord> Tracer::records_for_trace(
+    std::uint64_t trace_id) const {
+  std::vector<TraceRecord> out;
+  if (trace_id == 0) return out;
+  for (const TraceRecord& r : records()) {
+    if (r.trace_id == trace_id) out.push_back(r);
+  }
+  return out;
+}
+
 std::optional<OpRef> Tracer::last_completed_op() const {
   const std::vector<TraceRecord> all = records();
   for (auto it = all.rbegin(); it != all.rend(); ++it) {
@@ -99,6 +129,11 @@ namespace {
 void format_record(std::ostringstream& os, const TraceRecord& r) {
   os << '[' << r.time << "] node=" << r.node << ' ' << to_string(r.event)
      << ' ' << r.op.str();
+  if (r.trace_id != 0) {
+    os << " trace=" << r.trace_id << " span=" << r.span_id;
+    if (r.parent_span != 0) os << " parent=" << r.parent_span;
+    if (r.end != r.time) os << " dur=" << (r.end - r.time);
+  }
   if (!r.detail.empty()) os << ' ' << r.detail;
   os << '\n';
 }
@@ -123,9 +158,11 @@ std::string Tracer::dump_json() const {
   for (const TraceRecord& r : records()) {
     if (!first) os << ',';
     first = false;
-    os << "{\"time\":" << r.time << ",\"node\":" << r.node << ",\"op\":\""
-       << r.op.str() << "\",\"event\":\"" << to_string(r.event)
-       << "\",\"detail\":\"";
+    os << "{\"time\":" << r.time << ",\"end\":" << r.end
+       << ",\"node\":" << r.node << ",\"op\":\"" << r.op.str()
+       << "\",\"event\":\"" << to_string(r.event)
+       << "\",\"trace\":" << r.trace_id << ",\"span\":" << r.span_id
+       << ",\"parent\":" << r.parent_span << ",\"detail\":\"";
     for (char ch : r.detail) {
       if (ch == '"' || ch == '\\') os << '\\';
       os << ch;

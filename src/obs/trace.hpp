@@ -3,12 +3,22 @@
 // A trace is a sequence of timestamped span events keyed by the paper's
 // unique operation identifiers (parent total-order position + per-parent
 // operation sequence — see rep/ids.hpp). Every layer that touches an
-// invocation appends an event: the client stamps the send, the engine stamps
-// the totally-ordered (Totem) delivery, execution start/end, the reply send
-// and delivery, and every duplicate-suppression decision. Because the
-// identifier is identical at every replica, the events recorded on all
-// processors interleave into one cross-layer timeline per operation, which
-// is how a failed or slow invocation is reconstructed after the fact.
+// invocation appends an event: the client stamps the send, the Totem node
+// stamps the token-visit send, the engine stamps the totally-ordered
+// delivery, execution start/end, the reply send and delivery, and every
+// duplicate-suppression decision. Because the identifier is identical at
+// every replica, the events recorded on all processors interleave into one
+// cross-layer timeline per operation, which is how a failed or slow
+// invocation is reconstructed after the fact.
+//
+// On top of the per-operation key, records carry a *causal trace context*:
+// a trace id (derived from the root operation identifier, so it is stable
+// across client retransmits and failover re-invocations) and a parent span
+// id. The context rides inside the rep wire envelope and through totem
+// Batch frames, so spans emitted at client-invoke, token-visit send,
+// deliver, replica execute, reply, and failover-retry all chain into one
+// causal story — including nested invocations, whose spans parent on the
+// execution span that issued them.
 //
 // The sink is a fixed-capacity ring buffer: recording is O(1), the newest
 // records win, and `dropped()` says how much history was overwritten.
@@ -31,10 +41,25 @@ struct OpRef {
   std::uint64_t op_seq = 0;
 
   bool operator==(const OpRef&) const = default;
+  bool valid() const noexcept {
+    return parent_epoch != 0 || parent_seq != 0 || op_seq != 0;
+  }
   std::string str() const {
     return std::to_string(parent_epoch) + ":" + std::to_string(parent_seq) +
            "/" + std::to_string(op_seq);
   }
+};
+
+/// Causal trace context carried on the wire alongside an operation. The
+/// trace id names the whole causal chain (root operation and everything it
+/// spawned); the parent span id names the span that caused this hop.
+/// Both zero = untraced.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
+  bool operator==(const TraceContext&) const = default;
+  bool traced() const noexcept { return trace_id != 0; }
 };
 
 enum class SpanEvent : std::uint8_t {
@@ -54,16 +79,24 @@ enum class SpanEvent : std::uint8_t {
   FulfillmentReplayed,   // queued op re-invoked after remerge
   StateDigestSent,       // divergence oracle: replica broadcast its digest
   DivergenceDetected,    // divergence oracle: digests disagreed at this op
+  TokenVisitSend,        // totem assigned the message a seq on a token visit
+  FailoverRetry,         // new primary re-invoked a logged operation
 };
 
 const char* to_string(SpanEvent e);
 
 struct TraceRecord {
-  std::uint64_t time = 0;  // simulated microseconds
+  std::uint64_t time = 0;  // simulated microseconds (span begin)
+  std::uint64_t end = 0;   // span end; == time for instantaneous events
   std::uint32_t node = 0;  // processor that recorded the event
   OpRef op;
   SpanEvent event = SpanEvent::ClientSend;
+  std::uint64_t trace_id = 0;     // 0 = recorded without causal context
+  std::uint64_t span_id = 0;      // this record's own span id
+  std::uint64_t parent_span = 0;  // causally preceding span (0 = root)
   std::string detail;
+
+  TraceContext ctx() const noexcept { return {trace_id, parent_span}; }
 };
 
 class Tracer {
@@ -80,6 +113,14 @@ class Tracer {
   void record(std::uint64_t time, std::uint32_t node, const OpRef& op,
               SpanEvent event, std::string detail = {});
 
+  /// Record a span with causal context. Returns the span id assigned to the
+  /// record (monotonic, process-wide — the simulation is single-threaded
+  /// and deterministic), or 0 when tracing is disabled. `begin`/`end` are
+  /// simulated time; instantaneous events pass begin == end.
+  std::uint64_t span(std::uint64_t begin, std::uint64_t end,
+                     std::uint32_t node, const OpRef& op, SpanEvent event,
+                     const TraceContext& ctx, std::string detail = {});
+
   std::size_t size() const noexcept;
   std::uint64_t recorded() const noexcept { return total_; }
   std::uint64_t dropped() const noexcept;
@@ -87,6 +128,8 @@ class Tracer {
   /// Records in recording order (oldest surviving first).
   std::vector<TraceRecord> records() const;
   std::vector<TraceRecord> records_for(const OpRef& op) const;
+  /// All surviving records of one causal chain, in recording order.
+  std::vector<TraceRecord> records_for_trace(std::uint64_t trace_id) const;
   /// The operation of the newest ReplyDeliver record — i.e. the most recent
   /// invocation whose full lifecycle is likely still in the buffer.
   std::optional<OpRef> last_completed_op() const;
@@ -104,6 +147,7 @@ class Tracer {
   std::size_t cap_ = 0;
   std::size_t next_ = 0;   // ring write index
   std::uint64_t total_ = 0;
+  std::uint64_t next_span_ = 1;  // span-id allocator (never reused)
   std::vector<TraceRecord> ring_;
 };
 

@@ -25,9 +25,8 @@ void Invocation::cancel() {
 Client::Client(Engine& engine, std::string name)
     : engine_(engine),
       reply_group_(std::move(name)),
-      rtt_us_(obs::Registry::global().histogram(
-          obs::node_metric("client", "rtt_us", engine.id()),
-          /*lo=*/0.0, /*hi=*/200000.0, /*buckets=*/40)) {
+      rtt_us_(obs::Registry::global().summary(
+          obs::node_metric("client", "rtt_us", engine.id()))) {
   rtt_us_.reset();
 }
 
@@ -75,11 +74,18 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
   env.giop = giop::encode_request(hdr, args);
 
   auto& tracer = obs::Tracer::global();
+  std::uint64_t client_span = 0;
   if (tracer.enabled()) {
-    tracer.record(env.timestamp, engine_.id(),
-                  obs::OpRef{op_id.parent.epoch, op_id.parent.seq,
-                             op_id.op_seq},
-                  obs::SpanEvent::ClientSend, "group=" + group + " op=" + op);
+    // Root of the causal chain: the trace id is derived from the operation
+    // identifier, so retransmits and failover re-invocations (which reuse
+    // the identifier) stay on the same trace.
+    env.trace_id = op_id.hash();
+    client_span = tracer.span(
+        env.timestamp, env.timestamp, engine_.id(),
+        obs::OpRef{op_id.parent.epoch, op_id.parent.seq, op_id.op_seq},
+        obs::SpanEvent::ClientSend, {env.trace_id, 0},
+        "group=" + group + " op=" + op);
+    env.parent_span = client_span;
   }
 
   auto inner = engine_.expect_reply(reply_group_, op_id);
@@ -87,6 +93,7 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
 
   Outstanding out;
   out.env = env;
+  out.client_span = client_span;
   outstanding_.emplace(op_id, std::move(out));
   retransmit_arm(op_id);
 
@@ -131,9 +138,11 @@ void Client::retransmit_arm(const OperationId& op) {
         // reply log or is executing the first copy — never twice.
         auto& tracer = obs::Tracer::global();
         if (tracer.enabled()) {
-          tracer.record(engine_.simulation().now(), engine_.id(),
-                        obs::OpRef{op.parent.epoch, op.parent.seq, op.op_seq},
-                        obs::SpanEvent::ClientRetransmit, "");
+          const sim::Time now = engine_.simulation().now();
+          tracer.span(now, now, engine_.id(),
+                      obs::OpRef{op.parent.epoch, op.parent.seq, op.op_seq},
+                      obs::SpanEvent::ClientRetransmit,
+                      {oit->second.env.trace_id, oit->second.client_span});
         }
         engine_.send_invocation(oit->second.env, /*rank=*/0);
         retransmit_arm(op);

@@ -109,6 +109,8 @@ struct Engine::Execution {
   util::Xoshiro256 rng;
   bool read_only = false;
   std::string op_name;
+  std::uint64_t span_id = 0;     // ExecStart span; parents nested invokes
+  std::uint64_t exec_begin = 0;  // sim time execution started
 
   explicit Execution(const OperationId& id) : rng(id.hash()) {}
 };
@@ -312,8 +314,8 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
       pending_invocation_sends_.erase(it);
       counters_.sends_suppressed.inc();
       if (tracing()) {
-        trace(env.op_id, obs::SpanEvent::SendSuppressed,
-              "sibling=" + std::to_string(sender));
+        trace_ctx(env.op_id, obs::SpanEvent::SendSuppressed, env.ctx(),
+                  "sibling=" + std::to_string(sender));
       }
     }
   }
@@ -324,8 +326,8 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
       pending_response_sends_.erase(it);
       counters_.responses_suppressed.inc();
       if (tracing()) {
-        trace(env.op_id, obs::SpanEvent::ResponseSuppressed,
-              "sibling=" + std::to_string(sender));
+        trace_ctx(env.op_id, obs::SpanEvent::ResponseSuppressed, env.ctx(),
+                  "sibling=" + std::to_string(sender));
       }
     }
   }
@@ -333,9 +335,9 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
   // The totem-layer timestamp of this invocation's delivery in total order;
   // one record per (node, carrier), keyed by the operation identifier.
   if (tracing() && env.kind == Kind::Invocation) {
-    trace(env.op_id, obs::SpanEvent::TotemDeliver,
-          "carrier=" + carrier.str() + " from=" + std::to_string(sender) +
-              " target=" + env.target_group);
+    trace_ctx(env.op_id, obs::SpanEvent::TotemDeliver, env.ctx(),
+              "carrier=" + carrier.str() + " from=" + std::to_string(sender) +
+                  " target=" + env.target_group);
   }
 
   if (env.kind == Kind::Response) {
@@ -397,8 +399,8 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
     if (!g.replaying_buffer) resend_logged_reply(g, env);
     counters_.duplicate_replies_resent.inc();
     if (tracing()) {
-      trace(env.op_id, obs::SpanEvent::DuplicateReplyResent,
-            "group=" + g.cfg.name);
+      trace_ctx(env.op_id, obs::SpanEvent::DuplicateReplyResent, env.ctx(),
+                "group=" + g.cfg.name);
     }
     return;
   }
@@ -406,8 +408,8 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
     // Already logged/executing; the reply will go out when it completes.
     counters_.duplicate_invocations_dropped.inc();
     if (tracing()) {
-      trace(env.op_id, obs::SpanEvent::DuplicateDropped,
-            "group=" + g.cfg.name);
+      trace_ctx(env.op_id, obs::SpanEvent::DuplicateDropped, env.ctx(),
+                "group=" + g.cfg.name);
     }
     return;
   }
@@ -470,9 +472,12 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
   ex.read_only = g.replica->is_read_only(ex.op_name);
   ex.ctx = std::make_unique<ExecContext>(*this, g.cfg.name, ex,
                                          g.primary_component);
+  ex.exec_begin = sim_.now();
   if (tracing()) {
-    trace(env.op_id, obs::SpanEvent::ExecStart,
-          "group=" + g.cfg.name + " op=" + ex.op_name);
+    // The ExecStart span parents everything this execution causes: nested
+    // invocations, the state update, the reply.
+    ex.span_id = trace_ctx(env.op_id, obs::SpanEvent::ExecStart, env.ctx(),
+                           "group=" + g.cfg.name + " op=" + ex.op_name);
   }
 
   g.running.emplace(env.op_id, std::move(exec));
@@ -525,9 +530,12 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
 
   counters_.invocations_executed.inc();
   if (tracing()) {
-    trace(ex.op_id, obs::SpanEvent::ExecEnd,
-          "group=" + g.cfg.name + " op=" + ex.op_name +
-              (failed ? " failed" : ""));
+    // Duration span covering the whole (possibly suspended) execution.
+    tracer_.span(ex.exec_begin, sim_.now(), id(), op_ref(ex.op_id),
+                 obs::SpanEvent::ExecEnd,
+                 {ex.invocation.trace_id, ex.span_id},
+                 "group=" + g.cfg.name + " op=" + ex.op_name +
+                     (failed ? " failed" : ""));
   }
   log_reply(g, ex.op_id, reply);
 
@@ -555,6 +563,8 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     up.source_group = g.cfg.name;
     up.state_version = g.state_version;
     up.operation = ex.op_name;
+    up.trace_id = ex.invocation.trace_id;
+    up.parent_span = ex.span_id;
     cdr::Encoder update;
     g.replica->get_update(ex.op_name, update);
     up.update = update.take();
@@ -567,8 +577,8 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     g.fulfillment_queue.push_back(ex.invocation);
     counters_.fulfillment_recorded.inc();
     if (tracing()) {
-      trace(ex.op_id, obs::SpanEvent::FulfillmentRecorded,
-            "group=" + g.cfg.name);
+      trace_ctx(ex.op_id, obs::SpanEvent::FulfillmentRecorded,
+                ex.invocation.ctx(), "group=" + g.cfg.name);
     }
   }
 
@@ -582,11 +592,13 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     resp.target_group = ex.invocation.reply_group;
     resp.source_group = g.cfg.name;
     resp.giop = reply;
+    resp.trace_id = ex.invocation.trace_id;
+    resp.parent_span = ex.span_id;
     const std::uint32_t rank =
         g.cfg.style == Style::Active ? my_rank(g) : 0;
     if (tracing()) {
-      trace(ex.op_id, obs::SpanEvent::ReplySend,
-            "to=" + resp.target_group + " rank=" + std::to_string(rank));
+      trace_ctx(ex.op_id, obs::SpanEvent::ReplySend, resp.ctx(),
+                "to=" + resp.target_group + " rank=" + std::to_string(rank));
     }
     queue_send(std::move(resp), rank, /*is_response=*/true);
   }
@@ -634,6 +646,10 @@ orb::Future<cdr::Bytes> ExecContext::invoke(const std::string& target,
   env.source_group = group_;
   env.fulfillment = exec_.invocation.fulfillment;
   env.timestamp = exec_.invocation.timestamp;
+  // Nested invocations stay on the root operation's trace, parented on the
+  // execution span that issued them.
+  env.trace_id = exec_.invocation.trace_id;
+  env.parent_span = exec_.span_id;
   env.giop = giop::encode_request(hdr, args);
 
   auto future = engine_.expect_reply(group_, nested);
@@ -671,9 +687,9 @@ void Engine::handle_response(const Envelope& env, NodeId sender) {
   auto oit = it->second.find(env.op_id);
   if (oit == it->second.end()) return;  // duplicate response: ignore
   if (tracing()) {
-    trace(env.op_id, obs::SpanEvent::ReplyDeliver,
-          "reply_group=" + env.target_group + " from=" +
-              std::to_string(sender));
+    trace_ctx(env.op_id, obs::SpanEvent::ReplyDeliver, env.ctx(),
+              "reply_group=" + env.target_group + " from=" +
+                  std::to_string(sender));
   }
   orb::Future<cdr::Bytes> future = oit->second;
   it->second.erase(oit);
@@ -725,6 +741,10 @@ void Engine::resend_logged_reply(LocalGroup& g, const Envelope& inv) {
   resp.target_group = inv.reply_group;
   resp.source_group = g.cfg.name;
   resp.giop = it->second;
+  // The resent reply answers the duplicate invocation, so it rides the
+  // duplicate's causal context (same trace id as the original).
+  resp.trace_id = inv.trace_id;
+  resp.parent_span = inv.parent_span;
   const std::uint32_t rank =
       g.cfg.style == Style::Active ? my_rank(g) : 0;
   queue_send(std::move(resp), rank, /*is_response=*/true);
@@ -747,7 +767,7 @@ void Engine::send_envelope(const std::string& totem_group,
   ETERNAL_DEBUG("engine", "node ", id(), " send kind=",
                 static_cast<int>(env.kind), " op=", env.op_id.str(),
                 " totem_group=", totem_group, " target=", env.target_group);
-  groups_.send(totem_group, encode(env));
+  groups_.send(totem_group, encode(env), env.trace_id, env.parent_span);
 }
 
 // ---------------------------------------------------------------------------
@@ -776,9 +796,9 @@ void Engine::handle_state_update(LocalGroup& g, const Envelope& env) {
     g.state_version = env.state_version;
     counters_.state_updates_applied.inc();
     if (tracing()) {
-      trace(env.op_id, obs::SpanEvent::StateUpdateApplied,
-            "group=" + g.cfg.name + " version=" +
-                std::to_string(env.state_version));
+      trace_ctx(env.op_id, obs::SpanEvent::StateUpdateApplied, env.ctx(),
+                "group=" + g.cfg.name + " version=" +
+                    std::to_string(env.state_version));
     }
   } else if (g.cfg.style == Style::ColdPassive) {
     if (g.pending_updates.emplace(env.op_id, env.update).second) {
@@ -935,6 +955,14 @@ void Engine::check_promotion(LocalGroup& g, bool was_primary) {
   }
   for (const auto& logged : g.invocation_log) {
     if (g.reply_log.count(logged.env.op_id)) continue;
+    if (tracing()) {
+      // The retry stays on the original invocation's trace: the logged
+      // envelope (identifier and trace context included) is re-executed
+      // verbatim, which is what makes failover duplicate-safe.
+      trace_ctx(logged.env.op_id, obs::SpanEvent::FailoverRetry,
+                logged.env.ctx(),
+                "group=" + g.cfg.name + " carrier=" + logged.carrier.str());
+    }
     g.exec_queue.emplace_back(logged.env, logged.carrier);
   }
   pump_exec_queue(g);
@@ -1030,8 +1058,8 @@ void Engine::replay_fulfillment(LocalGroup& g) {
     env.op_id.op_seq += kFulfillSeqOffset;
     counters_.fulfillment_replayed.inc();
     if (tracing()) {
-      trace(env.op_id, obs::SpanEvent::FulfillmentReplayed,
-            "group=" + g.cfg.name);
+      trace_ctx(env.op_id, obs::SpanEvent::FulfillmentReplayed, env.ctx(),
+                "group=" + g.cfg.name);
     }
     send_invocation(std::move(env), rank);
   }

@@ -341,6 +341,12 @@ class Engine {
   void trace(const OperationId& op, obs::SpanEvent ev, std::string detail) {
     tracer_.record(sim_.now(), id(), op_ref(op), ev, std::move(detail));
   }
+  /// Instantaneous span in the causal chain `ctx`; returns its span id.
+  std::uint64_t trace_ctx(const OperationId& op, obs::SpanEvent ev,
+                          const obs::TraceContext& ctx, std::string detail) {
+    return tracer_.span(sim_.now(), sim_.now(), id(), op_ref(op), ev, ctx,
+                        std::move(detail));
+  }
   void journal(obs::EventKind kind, std::string subject, std::string detail);
 
   sim::Simulation& sim_;
@@ -446,13 +452,14 @@ class Client {
 
   Engine& engine_;
   std::string reply_group_;
-  obs::Histogram& rtt_us_;  // client-observed end-to-end latency
+  obs::Summary& rtt_us_;  // client-observed end-to-end latency
   std::uint64_t next_op_ = 1;
   sim::Time retry_interval_ = 100 * sim::kMillisecond;
   std::size_t max_outstanding_ = 0;
   struct Outstanding {
     Envelope env;
     sim::TimerHandle retry;
+    std::uint64_t client_span = 0;  // ClientSend span, parent for retries
   };
   std::map<OperationId, Outstanding> outstanding_;
 };

@@ -37,6 +37,12 @@ Bytes encode(const Envelope& env) {
   enc.put_ulong(env.chunk_count);
   enc.put_octet_seq(env.blob);
   enc.put_ulonglong(env.digest);
+  const bool traced = env.trace_id != 0 || env.parent_span != 0;
+  enc.put_boolean(traced);
+  if (traced) {
+    enc.put_ulonglong(env.trace_id);
+    enc.put_ulonglong(env.parent_span);
+  }
   return enc.take();
 }
 
@@ -65,6 +71,10 @@ Envelope decode_envelope(const Bytes& wire) {
   env.chunk_count = dec.get_ulong();
   env.blob = dec.get_octet_seq();
   env.digest = dec.get_ulonglong();
+  if (dec.get_boolean()) {
+    env.trace_id = dec.get_ulonglong();
+    env.parent_span = dec.get_ulonglong();
+  }
   return env;
 }
 

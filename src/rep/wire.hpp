@@ -11,6 +11,7 @@
 #include <string>
 
 #include "cdr/cdr.hpp"
+#include "obs/trace.hpp"
 #include "rep/ids.hpp"
 
 namespace eternal::rep {
@@ -61,6 +62,15 @@ struct Envelope {
   // StateDigest (divergence oracle; `node` above names the digesting
   // replica and `state_version`/`operation` the checked boundary)
   std::uint64_t digest = 0;      // fnv1a over serialized tier-1 state
+
+  // Causal trace context (obs/trace.hpp). The trace id names the causal
+  // chain rooted at the original client invocation; the parent span is the
+  // span that caused this envelope to be sent. Both zero when tracing is
+  // off — the wire then carries a single flag byte.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
+  obs::TraceContext ctx() const noexcept { return {trace_id, parent_span}; }
 };
 
 Bytes encode(const Envelope& env);

@@ -21,8 +21,10 @@ void GroupLayer::leave(const std::string& group) {
   announce();
 }
 
-void GroupLayer::send(const std::string& group, Bytes payload) {
-  node_.broadcast(group, std::move(payload), /*control=*/false);
+void GroupLayer::send(const std::string& group, Bytes payload,
+                      std::uint64_t trace_id, std::uint64_t parent_span) {
+  node_.broadcast(group, std::move(payload), /*control=*/false, trace_id,
+                  parent_span);
 }
 
 void GroupLayer::subscribe(const std::string& group, MsgFn fn) {

@@ -66,8 +66,11 @@ class GroupLayer {
   }
 
   /// Totally-ordered multicast to a group. The sender need not be a member;
-  /// the sender's own subscriber sees the message too (self-delivery).
-  void send(const std::string& group, Bytes payload);
+  /// the sender's own subscriber sees the message too (self-delivery). A
+  /// non-zero trace id rides on the frame so the ordering layer can emit
+  /// token-visit spans in the payload's causal chain.
+  void send(const std::string& group, Bytes payload,
+            std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
 
   /// Local delivery of messages addressed to a group. One subscriber per
   /// group per node; the replication engine multiplexes above this.

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/journal.hpp"
+#include "obs/trace.hpp"
 
 namespace eternal::totem {
 
@@ -99,10 +100,16 @@ void Node::restart() {
   start();
 }
 
-void Node::broadcast(std::string group, Bytes payload, bool control) {
+void Node::broadcast(std::string group, Bytes payload, bool control,
+                     std::uint64_t trace_id, std::uint64_t parent_span) {
   DataMsg d;
   d.origin = id_;
   d.flags = control ? kFlagControl : 0;
+  if (trace_id != 0) {
+    d.flags |= kFlagTraced;
+    d.trace_id = trace_id;
+    d.parent_span = parent_span;
+  }
   d.group = std::move(group);
   d.payload = std::move(payload);
   pending_.push_back(std::move(d));
@@ -296,12 +303,22 @@ void Node::handle_token(TokenMsg t) {
   // limits itself to a fair share of the window so the token keeps rotating
   // quickly while several members drain backlogs.
   std::uint32_t budget = params_.window;
+  obs::Tracer& tracer = obs::Tracer::global();
+  auto visit_span = [&](const DataMsg& d) {
+    if (tracer.enabled() && (d.flags & kFlagTraced)) {
+      tracer.span(sim_.now(), sim_.now(), id_, obs::OpRef{},
+                  obs::SpanEvent::TokenVisitSend,
+                  {d.trace_id, d.parent_span},
+                  "seq=" + std::to_string(d.seq));
+    }
+  };
   auto send_from = [&](std::deque<DataMsg>& queue) {
     while (budget > 0 && !queue.empty()) {
       DataMsg d = std::move(queue.front());
       queue.pop_front();
       d.ring = cur_.id;
       d.seq = ++t.seq;
+      visit_span(d);
       Packet pkt;
       pkt.kind = MsgKind::Data;
       pkt.data = d;
@@ -335,6 +352,7 @@ void Node::handle_token(TokenMsg t) {
           pending_.pop_front();
           d.ring = cur_.id;
           d.seq = ++t.seq;
+          visit_span(d);
           counters_.broadcasts.inc();
           pkt.batch.msgs.push_back(std::move(d));
         }

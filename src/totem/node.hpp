@@ -150,7 +150,10 @@ class Node {
 
   /// Queue a payload for totally-ordered broadcast to the given group tag.
   /// Sent when this node next holds the token; queued across view changes.
-  void broadcast(std::string group, Bytes payload, bool control = false);
+  /// A non-zero trace id attaches the payload's causal trace context to the
+  /// frame (kFlagTraced), so the token-visit send emits a span in that chain.
+  void broadcast(std::string group, Bytes payload, bool control = false,
+                 std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
 
   bool running() const noexcept { return state_ != State::Down; }
   bool operational() const noexcept { return state_ == State::Operational; }

@@ -51,6 +51,10 @@ void encode_data_into(cdr::Encoder& enc, const DataMsg& d) {
   enc.put_octet(d.flags);
   enc.put_string(std::string("g") + d.group);  // never empty on the wire
   enc.put_octet_seq(d.payload);
+  if (d.flags & kFlagTraced) {
+    enc.put_ulonglong(d.trace_id);
+    enc.put_ulonglong(d.parent_span);
+  }
   if (d.flags & kFlagRecovery) {
     put_ring(enc, d.old_ring);
     enc.put_ulonglong(d.old_seq);
@@ -67,6 +71,10 @@ DataMsg decode_data_from(cdr::Decoder& dec) {
   if (g.empty() || g[0] != 'g') throw cdr::MarshalError("bad group tag");
   d.group = g.substr(1);
   d.payload = dec.get_octet_seq();
+  if (d.flags & kFlagTraced) {
+    d.trace_id = dec.get_ulonglong();
+    d.parent_span = dec.get_ulonglong();
+  }
   if (d.flags & kFlagRecovery) {
     d.old_ring = get_ring(dec);
     d.old_seq = dec.get_ulonglong();
@@ -85,6 +93,10 @@ void encode_batch_into(cdr::Encoder& enc, const BatchMsg& b) {
     enc.put_octet(d.flags);
     enc.put_string(std::string("g") + d.group);  // never empty on the wire
     enc.put_octet_seq(d.payload);
+    if (d.flags & kFlagTraced) {
+      enc.put_ulonglong(d.trace_id);
+      enc.put_ulonglong(d.parent_span);
+    }
   }
 }
 
@@ -108,6 +120,10 @@ BatchMsg decode_batch_from(cdr::Decoder& dec) {
     if (g.empty() || g[0] != 'g') throw cdr::MarshalError("bad group tag");
     d.group = g.substr(1);
     d.payload = dec.get_octet_seq();
+    if (d.flags & kFlagTraced) {
+      d.trace_id = dec.get_ulonglong();
+      d.parent_span = dec.get_ulonglong();
+    }
     b.msgs.push_back(std::move(d));
   }
   return b;

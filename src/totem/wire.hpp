@@ -56,6 +56,7 @@ enum class MsgKind : std::uint8_t {
 enum DataFlags : std::uint8_t {
   kFlagControl = 1,   // consumed by the group layer, not the application
   kFlagRecovery = 2,  // encapsulates a Data message from an earlier ring
+  kFlagTraced = 4,    // carries a causal trace context (trace_id/parent_span)
 };
 
 struct DataMsg {
@@ -70,6 +71,13 @@ struct DataMsg {
   // originally ordered in, and its sequence number there.
   RingId old_ring;
   std::uint64_t old_seq = 0;
+
+  // Set when flags & kFlagTraced: causal trace context of the payload, so
+  // the ordering layer can emit spans in the payload's causal chain without
+  // decoding the opaque payload bytes. Preserved through Batch packing and
+  // recovery re-broadcast.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 /// Several Data messages from one origin, packed into a single frame during

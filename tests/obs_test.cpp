@@ -97,6 +97,76 @@ TEST(Registry, NodeMetricNaming) {
 }
 
 // ---------------------------------------------------------------------------
+// Summary (log-scale percentile sketch)
+// ---------------------------------------------------------------------------
+
+TEST(SummaryUnit, EmptyIsAllZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p999(), 0.0);
+}
+
+TEST(SummaryUnit, QuantilesWithinBucketError) {
+  Summary s;
+  // 1..1000: exact p50 = 500, p90 = 900, p99 = 990.
+  for (int v = 1; v <= 1000; ++v) s.observe(v);
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+  EXPECT_NEAR(s.mean(), 500.5, 1e-9);
+  // Geometric buckets grow by 2^(1/8) ≈ 9.05%: nearest-rank estimates land
+  // within one bucket (~±5% at the midpoint) of the exact percentile.
+  EXPECT_NEAR(s.p50(), 500.0, 500.0 * 0.06);
+  EXPECT_NEAR(s.p90(), 900.0, 900.0 * 0.06);
+  EXPECT_NEAR(s.p99(), 990.0, 990.0 * 0.06);
+  // p0/p100 clamp to the exact observed extremes.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+}
+
+TEST(SummaryUnit, SingleValueAllQuantilesAgree) {
+  Summary s;
+  s.observe(42.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+  EXPECT_DOUBLE_EQ(s.p999(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(SummaryUnit, ResetAndDescribe) {
+  Summary s;
+  s.observe(10.0);
+  s.observe(20.0);
+  const std::string text = s.describe();
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p999="), std::string::npos);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryUnit, RegistryFindOrCreateAndExport) {
+  Registry reg;
+  Summary& a = reg.summary("client.rtt_us{node=3}");
+  Summary& b = reg.summary("client.rtt_us{node=3}");
+  EXPECT_EQ(&a, &b);
+  a.observe(100.0);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("client.rtt_us{node=3}"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"summaries\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  reg.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------------------
 
@@ -140,6 +210,31 @@ TEST(Tracer, RecordsForAndLastCompletedOp) {
   EXPECT_NE(dump.find("client_send"), std::string::npos);
   EXPECT_NE(dump.find("reply_deliver"), std::string::npos);
   EXPECT_EQ(dump.find("0:1/2"), std::string::npos);  // b's records filtered
+}
+
+TEST(Tracer, SpanAssignsMonotonicIdsAndKeepsContext) {
+  Tracer t(64);
+  EXPECT_EQ(t.span(1, 1, 0, OpRef{0, 1, 1}, SpanEvent::ClientSend, {7, 0}),
+            0u);  // disabled: no id, nothing recorded
+  t.enable();
+  const std::uint64_t root =
+      t.span(10, 10, 3, OpRef{0, 1, 1}, SpanEvent::ClientSend, {7, 0}, "g=x");
+  const std::uint64_t child =
+      t.span(20, 25, 1, OpRef{0, 1, 1}, SpanEvent::ExecStart, {7, root});
+  EXPECT_NE(root, 0u);
+  EXPECT_GT(child, root);
+
+  const auto recs = t.records_for_trace(7);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].span_id, root);
+  EXPECT_EQ(recs[0].parent_span, 0u);
+  EXPECT_EQ(recs[0].trace_id, 7u);
+  EXPECT_EQ(recs[1].span_id, child);
+  EXPECT_EQ(recs[1].parent_span, root);
+  EXPECT_EQ(recs[1].time, 20u);
+  EXPECT_EQ(recs[1].end, 25u);
+  EXPECT_TRUE(t.records_for_trace(999).empty());
+  EXPECT_EQ(recs[0].ctx(), (TraceContext{7, 0}));
 }
 
 // ---------------------------------------------------------------------------
@@ -258,6 +353,133 @@ TEST_F(EndToEnd, TraceSpansOrderedUnderDuplicateSuppression) {
   }
   EXPECT_GE(suppressed,
             static_cast<std::uint64_t>(count(SpanEvent::ResponseSuppressed)));
+}
+
+TEST_F(EndToEnd, CausalChainLinksClientTokenExecAndReply) {
+  Cluster c(4);
+  c.domain.host_on<app::Counter>(rep::GroupConfig{"ctr", rep::Style::Active},
+                                 {0, 1, 2});
+  ASSERT_TRUE(c.converge());
+
+  Tracer::global().enable(true);
+  EXPECT_EQ(c.invoke_i64(3, "ctr", "incr", 5), 5);
+  c.sim.run_for(kSecond);
+  Tracer::global().enable(false);
+
+  auto last = Tracer::global().last_completed_op();
+  ASSERT_TRUE(last.has_value());
+  const auto op_recs = Tracer::global().records_for(*last);
+  ASSERT_FALSE(op_recs.empty());
+  const std::uint64_t trace = op_recs.front().trace_id;
+  ASSERT_NE(trace, 0u);
+
+  // Every record of the chain — including the token-visit sends recorded at
+  // the ordering layer, which never sees the operation id — carries the
+  // same trace id, and exactly one root span exists: the client send.
+  const auto chain = Tracer::global().records_for_trace(trace);
+  ASSERT_GE(chain.size(), op_recs.size());
+  std::size_t roots = 0, token_visits = 0;
+  std::uint64_t client_span = 0;
+  for (const TraceRecord& r : chain) {
+    EXPECT_EQ(r.trace_id, trace);
+    if (r.parent_span == 0) {
+      ++roots;
+      EXPECT_EQ(r.event, SpanEvent::ClientSend);
+      client_span = r.span_id;
+    }
+    if (r.event == SpanEvent::TokenVisitSend) ++token_visits;
+  }
+  EXPECT_EQ(roots, 1u);
+  ASSERT_NE(client_span, 0u);
+  EXPECT_GE(token_visits, 1u);
+
+  // Parent links stay inside the chain: every non-root parent is the span
+  // id of another record of the same trace.
+  std::vector<std::uint64_t> ids;
+  for (const TraceRecord& r : chain) ids.push_back(r.span_id);
+  for (const TraceRecord& r : chain) {
+    if (r.parent_span == 0) continue;
+    EXPECT_NE(std::find(ids.begin(), ids.end(), r.parent_span), ids.end())
+        << to_string(r.event) << " parent " << r.parent_span
+        << " not in trace";
+  }
+
+  // Stage wiring: the invocation's token visit and the replicas' deliveries
+  // and executions all parent on the client-send span; replies parent on an
+  // execution span.
+  for (const TraceRecord& r : chain) {
+    if (r.event == SpanEvent::ExecStart) {
+      EXPECT_EQ(r.parent_span, client_span);
+    }
+    if (r.event == SpanEvent::ReplyDeliver) {
+      EXPECT_NE(r.parent_span, client_span);
+      EXPECT_NE(r.parent_span, 0u);
+    }
+  }
+}
+
+TEST_F(EndToEnd, NestedInvocationsChainOntoParentExecutionSpan) {
+  Cluster c(5);
+  c.domain.host_on<app::Teller>(
+      rep::GroupConfig{"teller", rep::Style::Active}, {0, 1});
+  c.domain.host_on<app::Account>(
+      rep::GroupConfig{"acct.a", rep::Style::Active}, {2, 3});
+  c.domain.host_on<app::Account>(
+      rep::GroupConfig{"acct.b", rep::Style::Active}, {1, 4});
+  ASSERT_TRUE(c.converge());
+
+  {
+    cdr::Encoder enc;
+    enc.put_longlong(100);
+    c.domain.client(0).invoke_blocking("acct.a", "deposit", enc.take());
+  }
+
+  Tracer::global().enable(true);
+  cdr::Encoder enc;
+  enc.put_string("acct.a");
+  enc.put_string("acct.b");
+  enc.put_longlong(30);
+  c.domain.client(4).invoke_blocking("teller", "transfer", enc.take());
+  c.sim.run_for(kSecond);
+  Tracer::global().enable(false);
+
+  // The whole transfer — outer op plus the nested withdraw and deposit —
+  // shares the root trace id (derived from the root operation, so it is
+  // stable end to end).
+  auto last = Tracer::global().last_completed_op();
+  ASSERT_TRUE(last.has_value());
+  const auto root_recs = Tracer::global().records_for(*last);
+  ASSERT_FALSE(root_recs.empty());
+  const std::uint64_t trace = root_recs.front().trace_id;
+  ASSERT_NE(trace, 0u);
+
+  const auto chain = Tracer::global().records_for_trace(trace);
+  std::vector<OpRef> exec_ops;
+  std::vector<std::uint64_t> teller_exec_spans;
+  for (const TraceRecord& r : chain) {
+    if (r.event != SpanEvent::ExecStart) continue;
+    if (std::find(exec_ops.begin(), exec_ops.end(), r.op) == exec_ops.end()) {
+      exec_ops.push_back(r.op);
+    }
+    if (r.op == *last) teller_exec_spans.push_back(r.span_id);
+  }
+  // Three distinct operations executed under one trace: transfer, withdraw,
+  // deposit.
+  EXPECT_GE(exec_ops.size(), 3u);
+  ASSERT_FALSE(teller_exec_spans.empty());
+
+  // Nested executions parent on the teller execution span that issued them.
+  std::size_t nested_execs = 0;
+  for (const TraceRecord& r : chain) {
+    if (r.event != SpanEvent::ExecStart || r.op == *last) continue;
+    ++nested_execs;
+    EXPECT_NE(std::find(teller_exec_spans.begin(), teller_exec_spans.end(),
+                        r.parent_span),
+              teller_exec_spans.end())
+        << "nested exec of " << r.op.str()
+        << " does not parent on a teller execution span";
+  }
+  EXPECT_GE(nested_execs, 2u);
 }
 
 TEST_F(EndToEnd, JournalTellsThePartitionRemergeStory) {

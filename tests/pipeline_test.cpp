@@ -7,10 +7,12 @@
 // active AND warm-passive replication.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "app/servants.hpp"
+#include "obs/trace.hpp"
 #include "orb/exceptions.hpp"
 #include "rep/domain.hpp"
 #include "rep/stub.hpp"
@@ -243,6 +245,53 @@ TEST(BatchWire, RoundTripsMultipleEnvelopes) {
   EXPECT_EQ(out.batch.msgs[1].flags, totem::kFlagControl);
 }
 
+TEST(BatchWire, TraceContextSurvivesBatchPacking) {
+  totem::Packet pkt;
+  pkt.kind = totem::MsgKind::Batch;
+  pkt.batch.ring = totem::RingId{7, 3};
+  pkt.batch.origin = 3;
+  // Mixed batch: a traced envelope between two untraced ones — each inner
+  // message carries (or omits) its own trace context independently.
+  pkt.batch.msgs.push_back(data_msg(10, "alpha", {1}));
+  auto traced = data_msg(11, "alpha", {2});
+  traced.flags = totem::kFlagTraced;
+  traced.trace_id = 0xDEADBEEF;
+  traced.parent_span = 42;
+  pkt.batch.msgs.push_back(std::move(traced));
+  pkt.batch.msgs.push_back(data_msg(12, "beta", {3}));
+
+  const totem::Packet out = totem::decode_packet(totem::encode(pkt));
+  ASSERT_EQ(out.batch.msgs.size(), 3u);
+  EXPECT_EQ(out.batch.msgs[0].flags, 0);
+  EXPECT_EQ(out.batch.msgs[0].trace_id, 0u);
+  EXPECT_EQ(out.batch.msgs[1].flags, totem::kFlagTraced);
+  EXPECT_EQ(out.batch.msgs[1].trace_id, 0xDEADBEEFu);
+  EXPECT_EQ(out.batch.msgs[1].parent_span, 42u);
+  EXPECT_EQ(out.batch.msgs[1].payload, (totem::Bytes{2}));
+  EXPECT_EQ(out.batch.msgs[2].trace_id, 0u);
+}
+
+TEST(BatchWire, TraceContextSurvivesPlainDataFrame) {
+  totem::Packet pkt;
+  pkt.kind = totem::MsgKind::Data;
+  pkt.data = data_msg(5, "g", {9, 9});
+  pkt.data.flags = totem::kFlagTraced;
+  pkt.data.trace_id = 0xABCD;
+  pkt.data.parent_span = 7;
+  const totem::Packet out = totem::decode_packet(totem::encode(pkt));
+  ASSERT_EQ(out.kind, totem::MsgKind::Data);
+  EXPECT_EQ(out.data.trace_id, 0xABCDu);
+  EXPECT_EQ(out.data.parent_span, 7u);
+  EXPECT_EQ(out.data.payload, pkt.data.payload);
+
+  // Untraced stays untraced (and pays no wire bytes for the context).
+  totem::Packet plain;
+  plain.kind = totem::MsgKind::Data;
+  plain.data = data_msg(6, "g", {1});
+  EXPECT_LT(totem::encode(plain).size(), totem::encode(pkt).size());
+  EXPECT_EQ(totem::decode_packet(totem::encode(plain)).data.trace_id, 0u);
+}
+
 TEST(BatchWire, RejectsRecoveryFlaggedEnvelope) {
   totem::Packet pkt;
   pkt.kind = totem::MsgKind::Batch;
@@ -253,6 +302,107 @@ TEST(BatchWire, RejectsRecoveryFlaggedEnvelope) {
   pkt.batch.msgs.push_back(std::move(d));
   const totem::Bytes wire = totem::encode(pkt);
   EXPECT_THROW(totem::decode_packet(wire), cdr::MarshalError);
+}
+
+// ---------------------------------------------------------------------------
+// Causal tracing across batching and failover
+// ---------------------------------------------------------------------------
+
+struct Traced : ::testing::Test {
+  void SetUp() override {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().enable(true);
+  }
+  void TearDown() override {
+    obs::Tracer::global().enable(false);
+    obs::Tracer::global().clear();
+  }
+};
+
+TEST_F(Traced, SpansSurviveBatchPackingEndToEnd) {
+  Cluster c(4);
+  ASSERT_TRUE(c.converge());
+  c.domain.host_on<Counter>(GroupConfig{"ctr", Style::Active}, {0, 1, 2});
+  c.run(kSecond);
+
+  // Deeper than max_batch: the client's burst is packed into Batch frames
+  // at the token visit, so the token-visit spans below were emitted for
+  // messages travelling inside batches.
+  GroupRef ctr = c.domain.ref(3, "ctr");
+  constexpr int kDepth = 16;
+  std::vector<TypedInvocation<std::int64_t>> invs;
+  invs.reserve(kDepth);
+  for (int i = 0; i < kDepth; ++i) {
+    invs.push_back(ctr.invoke<std::int64_t>("incr", std::int64_t{1}));
+  }
+  c.run(5 * kSecond);
+  for (int i = 0; i < kDepth; ++i) ASSERT_TRUE(invs[i].ready());
+
+  // Every invocation's chain still contains its token-visit span, parented
+  // on that invocation's client-send span: batch packing forwarded each
+  // inner message's trace context intact.
+  const auto recs = obs::Tracer::global().records();
+  std::size_t clients = 0, matched = 0;
+  for (const obs::TraceRecord& r : recs) {
+    if (r.event != obs::SpanEvent::ClientSend) continue;
+    ++clients;
+    ASSERT_NE(r.trace_id, 0u);
+    for (const obs::TraceRecord& v : recs) {
+      if (v.event == obs::SpanEvent::TokenVisitSend &&
+          v.trace_id == r.trace_id && v.parent_span == r.span_id) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(clients, static_cast<std::size_t>(kDepth));
+  EXPECT_EQ(matched, static_cast<std::size_t>(kDepth));
+}
+
+TEST_F(Traced, FailoverRetryKeepsOriginalTraceId) {
+  Cluster c(4);
+  ASSERT_TRUE(c.converge());
+  c.domain.host_on<Counter>(GroupConfig{"ctr", Style::WarmPassive},
+                            {0, 1, 2});
+  c.run(kSecond);
+
+  GroupRef ctr = c.domain.ref(3, "ctr");
+  constexpr int kDepth = 16;
+  std::vector<TypedInvocation<std::int64_t>> invs;
+  invs.reserve(kDepth);
+  for (int i = 0; i < kDepth; ++i) {
+    invs.push_back(ctr.invoke<std::int64_t>("incr", std::int64_t{1}));
+  }
+  // Crash the primary after delivery but before its state updates are
+  // ordered: the promoted backup must re-drive the logged operations.
+  c.run(400);
+  c.fabric.crash(0);
+  c.run(8 * kSecond);
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(invs[i].ready());
+    EXPECT_EQ(invs[i].get(), i + 1);
+  }
+
+  // Failover retries were recorded, and each kept the ORIGINAL trace id of
+  // the operation it re-drove — the causal chain survives the failover, it
+  // does not fork a new trace.
+  const auto recs = obs::Tracer::global().records();
+  std::size_t retries = 0;
+  for (const obs::TraceRecord& r : recs) {
+    if (r.event != obs::SpanEvent::FailoverRetry) continue;
+    ++retries;
+    ASSERT_NE(r.trace_id, 0u);
+    bool found_root = false;
+    for (const obs::TraceRecord& s : recs) {
+      if (s.event == obs::SpanEvent::ClientSend && s.op == r.op) {
+        EXPECT_EQ(s.trace_id, r.trace_id)
+            << "retry of " << r.op.str() << " forked a new trace";
+        found_root = true;
+      }
+    }
+    EXPECT_TRUE(found_root) << r.op.str();
+  }
+  EXPECT_GE(retries, 1u);
 }
 
 }  // namespace

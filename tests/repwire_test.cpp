@@ -110,6 +110,29 @@ TEST(Wire, JoinAndSnapshotFieldsRoundTrip) {
   EXPECT_EQ(out.blob.size(), 100u);
 }
 
+TEST(Wire, TraceContextRoundTripsWhenPresent) {
+  Envelope env = sample_invocation();
+  env.trace_id = 0xFEEDFACE12345678ull;
+  env.parent_span = 99;
+  const Envelope out = decode_envelope(encode(env));
+  EXPECT_EQ(out.trace_id, env.trace_id);
+  EXPECT_EQ(out.parent_span, env.parent_span);
+  EXPECT_EQ(out.ctx(), env.ctx());
+}
+
+TEST(Wire, UntracedEnvelopePaysOneFlagByte) {
+  const Envelope plain = sample_invocation();
+  Envelope traced = sample_invocation();
+  traced.trace_id = 1;
+  const Envelope out = decode_envelope(encode(plain));
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.parent_span, 0u);
+  EXPECT_FALSE(out.ctx().traced());
+  // Tracing off costs a single boolean on the wire; the two u64 context
+  // fields are only encoded when a context is present.
+  EXPECT_LT(encode(plain).size(), encode(traced).size());
+}
+
 TEST(Wire, BadKindThrows) {
   Bytes wire = encode(sample_invocation());
   wire[0] = 99;

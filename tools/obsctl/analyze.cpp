@@ -1,0 +1,371 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace eternal::obsctl {
+
+namespace {
+
+struct OpKey {
+  std::uint64_t parent_epoch = 0;
+  std::uint64_t parent_seq = 0;
+  std::uint64_t op_seq = 0;
+
+  auto operator<=>(const OpKey&) const = default;
+};
+
+OpKey key_of(const obs::OpRef& op) {
+  return {op.parent_epoch, op.parent_seq, op.op_seq};
+}
+
+/// Parse "carrier=E:S" out of a TotemDeliver detail string.
+bool parse_carrier(const std::string& detail, std::uint64_t& epoch,
+                   std::uint64_t& seq) {
+  const auto pos = detail.find("carrier=");
+  if (pos == std::string::npos) return false;
+  const char* p = detail.c_str() + pos + 8;
+  char* endp = nullptr;
+  epoch = std::strtoull(p, &endp, 10);
+  if (endp == p || *endp != ':') return false;
+  p = endp + 1;
+  seq = std::strtoull(p, &endp, 10);
+  return endp != p;
+}
+
+/// Parse "members=[a, b, c]" out of a view-install detail string.
+bool parse_members(const std::string& detail, std::vector<std::uint32_t>& out) {
+  const auto pos = detail.find("members=[");
+  if (pos == std::string::npos) return false;
+  const auto close = detail.find(']', pos);
+  if (close == std::string::npos) return false;
+  out.clear();
+  const char* p = detail.c_str() + pos + 9;
+  const char* stop = detail.c_str() + close;
+  while (p < stop) {
+    if (*p < '0' || *p > '9') {
+      ++p;
+      continue;
+    }
+    char* endp = nullptr;
+    out.push_back(static_cast<std::uint32_t>(std::strtoul(p, &endp, 10)));
+    p = endp;
+  }
+  return true;
+}
+
+std::string first_token(const std::string& s) {
+  const auto pos = s.find(' ');
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+std::string members_str(const std::vector<std::uint32_t>& members) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(members[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+void Analysis::add_file(const std::string& path) {
+  add_records(obs::FlightRecorder::load(path));
+  ++files_;
+}
+
+void Analysis::add_records(const std::vector<FlightRecord>& recs) {
+  records_.insert(records_.end(), recs.begin(), recs.end());
+  finalized_ = false;
+}
+
+void Analysis::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const FlightRecord& a, const FlightRecord& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.span_id < b.span_id;
+                   });
+
+  // Token-visit sends are recorded at the ordering layer, which knows the
+  // frame's trace context but not the operation inside the opaque payload:
+  // match them back to operations via (trace id, parent span).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+      token_visits;  // (trace, parent span) -> earliest visit time
+  std::map<OpKey, OpTimeline> ops;
+
+  for (const FlightRecord& r : records_) {
+    if (r.stream != FlightRecord::Stream::Span) continue;
+    if (!r.op.valid()) {
+      if (r.span_event() == obs::SpanEvent::TokenVisitSend &&
+          r.trace_id != 0) {
+        auto [it, inserted] = token_visits.try_emplace(
+            {r.trace_id, r.parent_span}, r.time);
+        if (!inserted) it->second = std::min(it->second, r.time);
+      }
+      continue;
+    }
+    OpTimeline& t = ops[key_of(r.op)];
+    t.op = r.op;
+    if (r.trace_id != 0 && t.trace_id == 0) t.trace_id = r.trace_id;
+    t.records.push_back(r);
+    switch (r.span_event()) {
+      case obs::SpanEvent::ClientSend:
+        if (t.client_send == 0 || r.time < t.client_send) {
+          t.client_send = r.time;
+          t.client_span = r.span_id;
+        }
+        break;
+      case obs::SpanEvent::ClientRetransmit:
+        ++t.retransmits;
+        break;
+      case obs::SpanEvent::TotemDeliver: {
+        ++t.deliver_counts[r.node];
+        if (t.first_deliver == 0 || r.time < t.first_deliver) {
+          t.first_deliver = r.time;
+        }
+        std::uint64_t epoch = 0, seq = 0;
+        if (t.carrier_seq == 0 &&
+            parse_carrier(r.detail_str(), epoch, seq)) {
+          t.carrier_epoch = epoch;
+          t.carrier_seq = seq;
+        }
+        break;
+      }
+      case obs::SpanEvent::ExecStart:
+        ++t.exec_starts[r.node];
+        break;
+      case obs::SpanEvent::ReplyDeliver:
+        if (t.reply_deliver == 0 || r.time < t.reply_deliver) {
+          t.reply_deliver = r.time;
+        }
+        break;
+      case obs::SpanEvent::DuplicateDropped:
+      case obs::SpanEvent::DuplicateReplyResent:
+      case obs::SpanEvent::SendSuppressed:
+      case obs::SpanEvent::ResponseSuppressed:
+        ++t.suppressions;
+        break;
+      case obs::SpanEvent::FailoverRetry:
+        t.failover_retry = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  timelines_.clear();
+  timelines_.reserve(ops.size());
+  for (auto& [key, t] : ops) {
+    if (t.client_send != 0 && t.trace_id != 0) {
+      auto it = token_visits.find({t.trace_id, t.client_span});
+      if (it != token_visits.end()) t.first_order = it->second;
+    }
+    timelines_.push_back(std::move(t));
+  }
+
+  // Total-order sort: ordered operations by carrier coordinates, the rest
+  // (never seen delivered) after them by their earliest record.
+  std::stable_sort(
+      timelines_.begin(), timelines_.end(),
+      [](const OpTimeline& a, const OpTimeline& b) {
+        const bool ao = a.carrier_seq != 0, bo = b.carrier_seq != 0;
+        if (ao != bo) return ao;
+        if (ao) {
+          if (a.carrier_epoch != b.carrier_epoch) {
+            return a.carrier_epoch < b.carrier_epoch;
+          }
+          if (a.carrier_seq != b.carrier_seq) {
+            return a.carrier_seq < b.carrier_seq;
+          }
+        }
+        const std::uint64_t at = a.records.empty() ? 0 : a.records[0].time;
+        const std::uint64_t bt = b.records.empty() ? 0 : b.records[0].time;
+        return at < bt;
+      });
+}
+
+const std::vector<OpTimeline>& Analysis::timelines() {
+  finalize();
+  return timelines_;
+}
+
+std::string Analysis::timeline_report() {
+  finalize();
+  std::ostringstream os;
+  os << "operations: " << timelines_.size() << " (records "
+     << records_.size() << ", files " << files_ << ")\n";
+  for (const OpTimeline& t : timelines_) {
+    os << t.op.str();
+    if (t.carrier_seq != 0) {
+      os << " order=" << t.carrier_epoch << ':' << t.carrier_seq;
+    }
+    if (t.client_send != 0) os << " send=" << t.client_send;
+    if (t.first_order != 0) os << " token=" << t.first_order;
+    if (t.first_deliver != 0) os << " deliver=" << t.first_deliver;
+    if (t.reply_deliver != 0) {
+      os << " reply=" << t.reply_deliver;
+      if (t.client_send != 0) {
+        os << " rtt=" << t.reply_deliver - t.client_send;
+      }
+    }
+    os << " execs=";
+    bool first = true;
+    os << '{';
+    for (const auto& [node, count] : t.exec_starts) {
+      if (!first) os << ' ';
+      os << node << ':' << count;
+      first = false;
+    }
+    os << '}';
+    if (t.retransmits) os << " retrans=" << t.retransmits;
+    if (t.suppressions) os << " suppressed=" << t.suppressions;
+    if (t.failover_retry) os << " failover-retry";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Analysis::latency_report() {
+  finalize();
+  util::Summary to_order, to_deliver, to_reply, rtt;
+  for (const OpTimeline& t : timelines_) {
+    if (t.client_send == 0) continue;
+    if (t.first_order >= t.client_send && t.first_order != 0) {
+      to_order.add(static_cast<double>(t.first_order - t.client_send));
+    }
+    if (t.first_deliver != 0 && t.first_order != 0 &&
+        t.first_deliver >= t.first_order) {
+      to_deliver.add(static_cast<double>(t.first_deliver - t.first_order));
+    }
+    if (t.reply_deliver != 0 && t.first_deliver != 0 &&
+        t.reply_deliver >= t.first_deliver) {
+      to_reply.add(static_cast<double>(t.reply_deliver - t.first_deliver));
+    }
+    if (t.reply_deliver != 0 && t.reply_deliver >= t.client_send) {
+      rtt.add(static_cast<double>(t.reply_deliver - t.client_send));
+    }
+  }
+  std::ostringstream os;
+  os << "per-stage latency (simulated us, " << timelines_.size()
+     << " operations)\n";
+  os << "  client->order    " << to_order.describe() << '\n';
+  os << "  order->deliver   " << to_deliver.describe() << '\n';
+  os << "  deliver->reply   " << to_reply.describe() << '\n';
+  os << "  client->reply    " << rtt.describe() << '\n';
+  return os.str();
+}
+
+std::vector<AuditViolation> Analysis::audit() {
+  finalize();
+  std::vector<AuditViolation> out;
+
+  for (const OpTimeline& t : timelines_) {
+    // Every invoked operation completes: a recorded client send must have a
+    // recorded reply delivery (exactly-once includes at-least-once).
+    if (t.client_send != 0 && t.reply_deliver == 0) {
+      out.push_back({"lost-op",
+                     "operation " + t.op.str() +
+                         " was invoked but no reply delivery was recorded"});
+    }
+    // ...and at-most-once: no node may start executing one operation twice.
+    for (const auto& [node, count] : t.exec_starts) {
+      if (count > 1) {
+        out.push_back({"duplicate-execution",
+                       "operation " + t.op.str() + " started executing " +
+                           std::to_string(count) + " times on node " +
+                           std::to_string(node)});
+      }
+    }
+    // Every retry maps to a suppressed duplicate: when a retransmitted
+    // operation was visibly delivered more than once at an executing node,
+    // some duplicate-suppression record must explain why it ran once.
+    if (t.retransmits > 0 && t.suppressions == 0) {
+      for (const auto& [node, count] : t.exec_starts) {
+        if (count > 0 && t.deliver_counts.count(node) &&
+            t.deliver_counts.at(node) >= 2) {
+          out.push_back(
+              {"unsuppressed-retry",
+               "operation " + t.op.str() + " was retransmitted and node " +
+                   std::to_string(node) +
+                   " saw multiple deliveries, but no suppression was "
+                   "recorded"});
+          break;
+        }
+      }
+    }
+  }
+
+  // Membership views converge: for each group, the final view two live
+  // nodes installed must agree whenever each believes the other is a
+  // member. (A crashed node's stale view legitimately disagrees — but then
+  // the survivors' views no longer contain it.)
+  struct LastView {
+    std::uint64_t time = 0;
+    std::vector<std::uint32_t> members;
+  };
+  std::map<std::string, std::map<std::uint32_t, LastView>> views;
+  std::map<std::string, std::map<std::string, std::size_t>> convictions;
+  for (const FlightRecord& r : records_) {
+    if (r.stream != FlightRecord::Stream::Journal) continue;
+    const std::string detail = r.detail_str();
+    if (r.journal_kind() == obs::EventKind::GroupViewInstalled) {
+      std::vector<std::uint32_t> members;
+      if (!parse_members(detail, members)) continue;
+      LastView& lv = views[first_token(detail)][r.node];
+      if (r.time >= lv.time) {
+        lv.time = r.time;
+        lv.members = std::move(members);
+      }
+    } else if (r.journal_kind() == obs::EventKind::DivergenceDetected) {
+      ++convictions[first_token(detail)][detail];
+    }
+  }
+  for (const auto& [group, per_node] : views) {
+    for (auto a = per_node.begin(); a != per_node.end(); ++a) {
+      for (auto b = std::next(a); b != per_node.end(); ++b) {
+        const auto& ma = a->second.members;
+        const auto& mb = b->second.members;
+        const bool mutual =
+            std::find(ma.begin(), ma.end(), b->first) != ma.end() &&
+            std::find(mb.begin(), mb.end(), a->first) != mb.end();
+        if (mutual && ma != mb) {
+          out.push_back({"view-divergence",
+                         "group " + group + ": node " +
+                             std::to_string(a->first) + " final view " +
+                             members_str(ma) + " != node " +
+                             std::to_string(b->first) + " view " +
+                             members_str(mb)});
+        }
+      }
+    }
+  }
+
+  // Divergence convictions are themselves consistent: the oracle's verdict
+  // rode the total order, so every node must convict the same operation
+  // with the same report. (A conviction alone is the oracle doing its job,
+  // not an audit failure.)
+  for (const auto& [group, details] : convictions) {
+    if (details.size() > 1) {
+      std::string summary;
+      for (const auto& [detail, count] : details) {
+        if (!summary.empty()) summary += " vs ";
+        summary += '"' + detail + '"';
+      }
+      out.push_back({"divergence-inconsistent",
+                     "group " + group +
+                         ": nodes convicted different reports: " + summary});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace eternal::obsctl

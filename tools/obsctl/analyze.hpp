@@ -1,0 +1,92 @@
+// Offline analysis of flight-recorder dumps (see src/obs/recorder.hpp).
+//
+// Loads dumps from all nodes of a run, merges both streams (trace spans and
+// journal events) into one timeline, groups span records into per-operation
+// lifecycles, and derives:
+//
+//  * per-operation timelines, sorted on the total order the operations were
+//    delivered in (parsed from the TotemDeliver carrier coordinates);
+//  * per-stage latency breakdowns — client→order (ClientSend to the token
+//    visit that sequenced the message), order→deliver (token visit to first
+//    totally-ordered delivery) and deliver→reply (first delivery to the
+//    reply reaching the client) — with exact percentiles;
+//  * invariant audits over the recorded history: every invoked operation is
+//    delivered and answered exactly once per live replica, no operation is
+//    executed twice on one node, retries map to suppressed duplicates,
+//    membership views converge, and divergence convictions are consistent
+//    across nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace eternal::obsctl {
+
+using obs::FlightRecord;
+
+/// One operation's reconstructed lifecycle across every node in the dumps.
+struct OpTimeline {
+  obs::OpRef op;
+  std::uint64_t trace_id = 0;
+
+  // Stage timestamps, 0 = not observed in the dumps.
+  std::uint64_t client_send = 0;
+  std::uint64_t client_span = 0;   // span id of the ClientSend record
+  std::uint64_t first_order = 0;   // token visit that sequenced the send
+  std::uint64_t first_deliver = 0; // earliest totally-ordered delivery
+  std::uint64_t reply_deliver = 0; // reply reached the waiting client
+
+  // Total-order position (parsed from the TotemDeliver carrier detail).
+  std::uint64_t carrier_epoch = 0;
+  std::uint64_t carrier_seq = 0;
+
+  std::size_t retransmits = 0;
+  std::size_t suppressions = 0;  // duplicate-suppression records, any kind
+  bool failover_retry = false;
+  std::map<std::uint32_t, std::size_t> exec_starts;     // node -> count
+  std::map<std::uint32_t, std::size_t> deliver_counts;  // node -> count
+
+  std::vector<FlightRecord> records;  // this op's records, time-sorted
+};
+
+struct AuditViolation {
+  std::string check;  // "lost-op", "duplicate-execution", ...
+  std::string detail;
+  std::string str() const { return check + ": " + detail; }
+};
+
+class Analysis {
+ public:
+  /// Load one dump file and merge its records. Throws std::runtime_error on
+  /// a missing or corrupt file.
+  void add_file(const std::string& path);
+  void add_records(const std::vector<FlightRecord>& recs);
+
+  std::size_t files() const noexcept { return files_; }
+  std::size_t record_count() const noexcept { return records_.size(); }
+
+  /// Per-operation lifecycles, sorted on the total order (operations never
+  /// seen in a TotemDeliver sort after the ordered ones, by first record).
+  const std::vector<OpTimeline>& timelines();
+
+  /// Human-readable per-operation timeline listing.
+  std::string timeline_report();
+  /// Per-stage latency breakdown (exact percentiles over all operations).
+  std::string latency_report();
+  /// Run every invariant audit; empty = history is consistent.
+  std::vector<AuditViolation> audit();
+
+ private:
+  void finalize();
+
+  std::size_t files_ = 0;
+  bool finalized_ = false;
+  std::vector<FlightRecord> records_;
+  std::vector<OpTimeline> timelines_;
+};
+
+}  // namespace eternal::obsctl

@@ -1,0 +1,90 @@
+// obsctl — offline flight-recorder analyzer.
+//
+//   obsctl timeline <dump.bin|dir>...   per-operation timelines in total order
+//   obsctl latency  <dump.bin|dir>...   per-stage latency percentiles
+//   obsctl audit    <dump.bin|dir>...   invariant audit; exit 1 on violation
+//
+// Directories are scanned (non-recursively) for *.bin dumps, sorted by name.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: obsctl <timeline|latency|audit> <dump.bin|dir>...\n");
+  return 2;
+}
+
+std::vector<std::string> expand(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    if (fs::is_directory(arg)) {
+      std::vector<std::string> found;
+      for (const auto& entry : fs::directory_iterator(arg)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".bin") {
+          found.push_back(entry.path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      files.insert(files.end(), found.begin(), found.end());
+    } else {
+      files.push_back(arg);
+    }
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd != "timeline" && cmd != "latency" && cmd != "audit") {
+    return usage();
+  }
+
+  const std::vector<std::string> files =
+      expand({argv + 2, argv + argc});
+  if (files.empty()) {
+    std::fprintf(stderr, "obsctl: no dump files found\n");
+    return 2;
+  }
+
+  eternal::obsctl::Analysis analysis;
+  for (const std::string& file : files) {
+    try {
+      analysis.add_file(file);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "obsctl: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (cmd == "timeline") {
+    std::fputs(analysis.timeline_report().c_str(), stdout);
+    return 0;
+  }
+  if (cmd == "latency") {
+    std::fputs(analysis.latency_report().c_str(), stdout);
+    return 0;
+  }
+
+  const auto violations = analysis.audit();
+  std::printf("obsctl audit: %zu files, %zu records, %zu operations, %zu "
+              "violation(s)\n",
+              analysis.files(), analysis.record_count(),
+              analysis.timelines().size(), violations.size());
+  for (const auto& v : violations) {
+    std::printf("  %s\n", v.str().c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
