@@ -1,0 +1,60 @@
+// Counting global operator new/delete replacements for the bench binaries.
+//
+// Every heap allocation in the process bumps one relaxed atomic, giving the
+// harness an exact allocs/op figure (not a sampled estimate) to report next
+// to latency and throughput. The replacements are deliberately dumb
+// malloc/free shims: they must not allocate themselves, and they change
+// nothing about allocation behaviour beyond the counter, so the numbers
+// describe the same binary the latency columns do.
+//
+// Linked into every eternal_bench() target (see bench/CMakeLists.txt);
+// never into the library or test builds, which keep the toolchain default.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "harness.hpp"
+
+namespace eternal::bench {
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+}  // namespace
+
+std::uint64_t alloc_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace eternal::bench
+
+void* operator new(std::size_t size) {
+  if (void* p = eternal::bench::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = eternal::bench::counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return eternal::bench::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return eternal::bench::counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -14,8 +14,13 @@ using namespace eternal::bench;
 
 namespace {
 
+struct LatencyPoint {
+  double mean_us = 0;
+  double allocs_per_op = 0;  // counted operator-new calls per invocation
+};
+
 /// Baseline: plain GIOP over the same simulated LAN, no replication.
-double baseline_latency(std::size_t payload, int samples) {
+LatencyPoint baseline_latency(std::size_t payload, int samples) {
   sim::Simulation sim(1);
   sim::Network net(sim, 2);
   orb::PlainOrb server(sim, net, 0);
@@ -25,15 +30,16 @@ double baseline_latency(std::size_t payload, int samples) {
   client.attach();
 
   util::Summary lat;
+  AllocWindow aw;
   for (int i = 0; i < samples; ++i) {
     const sim::Time start = sim.now();
     client.invoke_blocking(0, "echo", "echo", payload_arg(payload));
     lat.add(static_cast<double>(sim.now() - start));
   }
-  return lat.mean();
+  return {lat.mean(), aw.per_op(static_cast<std::uint64_t>(samples))};
 }
 
-double ft_latency(rep::Style style, std::size_t payload, int samples) {
+LatencyPoint ft_latency(rep::Style style, std::size_t payload, int samples) {
   FtCluster c(4);
   c.domain.host_on<app::Echo>(rep::GroupConfig{"echo", style}, {0, 1, 2});
   c.settle();
@@ -41,11 +47,12 @@ double ft_latency(rep::Style style, std::size_t payload, int samples) {
   for (int i = 0; i < 5; ++i) c.timed_call(3, "echo", "echo", payload_arg(16));
 
   util::Summary lat;
+  AllocWindow aw;
   for (int i = 0; i < samples; ++i) {
     lat.add(static_cast<double>(
         c.timed_call(3, "echo", "echo", payload_arg(payload))));
   }
-  return lat.mean();
+  return {lat.mean(), aw.per_op(static_cast<std::uint64_t>(samples))};
 }
 
 }  // namespace
@@ -55,19 +62,34 @@ int main() {
   const int samples = 50;
   Table table({"payload", "IIOP baseline (us)", "FT active (us)", "overhead",
                "FT warm passive (us)", "overhead"});
+  Table allocs({"payload", "baseline allocs/op", "FT active allocs/op",
+                "FT warm passive allocs/op"});
+  std::vector<double> ft_allocs_per_op;
   for (std::size_t payload :
        {std::size_t{16}, std::size_t{256}, std::size_t{1024},
         std::size_t{4096}, std::size_t{16384}, std::size_t{65536}}) {
-    const double base = baseline_latency(payload, samples);
-    const double active = ft_latency(rep::Style::Active, payload, samples);
-    const double warm = ft_latency(rep::Style::WarmPassive, payload, samples);
-    table.row({std::to_string(payload) + " B", fmt(base), fmt(active),
-               fmt(active / base, 2) + "x", fmt(warm),
-               fmt(warm / base, 2) + "x"});
+    const LatencyPoint base = baseline_latency(payload, samples);
+    const LatencyPoint active =
+        ft_latency(rep::Style::Active, payload, samples);
+    const LatencyPoint warm =
+        ft_latency(rep::Style::WarmPassive, payload, samples);
+    table.row({std::to_string(payload) + " B", fmt(base.mean_us),
+               fmt(active.mean_us), fmt(active.mean_us / base.mean_us, 2) + "x",
+               fmt(warm.mean_us), fmt(warm.mean_us / base.mean_us, 2) + "x"});
+    allocs.row({std::to_string(payload) + " B", fmt(base.allocs_per_op, 0),
+                fmt(active.allocs_per_op, 0), fmt(warm.allocs_per_op, 0)});
+    ft_allocs_per_op.push_back(active.allocs_per_op);
+    ft_allocs_per_op.push_back(warm.allocs_per_op);
   }
   table.print();
+  std::printf("\nallocation cost (counted operator new, whole process):\n\n");
+  allocs.print();
   std::puts("\nshape check: FT overhead is a small constant factor, nearly "
             "flat in payload until bandwidth dominates.");
+  // Observed after the last FtCluster (whose ctor wiped the registry) so the
+  // figure survives into BENCH_latency.json alongside the totem/rep metrics.
+  auto& apo = obs::Registry::global().summary("bench.allocs_per_op");
+  for (double v : ft_allocs_per_op) apo.observe(v);
   obs_report("latency");
   return 0;
 }

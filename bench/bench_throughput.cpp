@@ -33,6 +33,7 @@ struct Point {
   double rotations_per_op = 0;
   double latency_us = 0;       // mean completion latency per op
   std::uint64_t batch_frames = 0;  // Batch frames sent, cluster-wide
+  double allocs_per_op = 0;    // counted operator-new calls per completed op
 };
 
 Point measure(std::size_t replicas, int outstanding, std::uint32_t max_batch,
@@ -60,6 +61,7 @@ Point measure(std::size_t replicas, int outstanding, std::uint32_t max_batch,
   const std::uint64_t visits0 =
       c.fabric.node(client).stats().token_visits;
   const sim::Time start = c.sim.now();
+  AllocWindow aw;
 
   // Closed loop: top the pipeline up to `outstanding`, reap completions in
   // order (one client, total order: the oldest invocation finishes first).
@@ -112,6 +114,7 @@ Point measure(std::size_t replicas, int outstanding, std::uint32_t max_batch,
   p.rotations_per_op = static_cast<double>(visits1 - visits0) / done;
   p.latency_us = latency_sum / done;
   p.batch_frames = batch_frames;
+  p.allocs_per_op = aw.per_op(static_cast<std::uint64_t>(done));
   return p;
 }
 
@@ -130,15 +133,18 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{3} : std::vector<std::size_t>{3, 5};
   double blocking_ops = 0;
   double pipelined8_ops = 0;
+  std::vector<double> allocs_per_op;
   Table sweep({"outstanding", "replicas", "ops/s", "rotations/op",
-               "mean latency (us)"});
+               "mean latency (us)", "allocs/op"});
   for (std::size_t r : degrees) {
     for (int k : ks) {
       const Point p = measure(r, k, /*max_batch=*/8, ops);
       if (r == 3 && k == 1) blocking_ops = p.ops_per_sec;
       if (r == 3 && k == 8) pipelined8_ops = p.ops_per_sec;
+      allocs_per_op.push_back(p.allocs_per_op);
       sweep.row({std::to_string(k), std::to_string(r), fmt(p.ops_per_sec, 0),
-                 fmt(p.rotations_per_op, 2), fmt(p.latency_us, 0)});
+                 fmt(p.rotations_per_op, 2), fmt(p.latency_us, 0),
+                 fmt(p.allocs_per_op, 0)});
     }
   }
   sweep.print();
@@ -149,11 +155,14 @@ int main(int argc, char** argv) {
   // envelopes.
   const int deep = smoke ? 8 : 32;
   std::printf("\nbatching ablation (%d outstanding, 3 replicas):\n\n", deep);
-  Table ab({"max_batch", "ops/s", "rotations/op", "batch frames"});
+  Table ab({"max_batch", "ops/s", "rotations/op", "batch frames",
+            "allocs/op"});
   for (std::uint32_t mb : {1u, 8u}) {
     const Point p = measure(3, deep, mb, ops);
+    allocs_per_op.push_back(p.allocs_per_op);
     ab.row({std::to_string(mb), fmt(p.ops_per_sec, 0),
-            fmt(p.rotations_per_op, 2), fmt_u(p.batch_frames)});
+            fmt(p.rotations_per_op, 2), fmt_u(p.batch_frames),
+            fmt(p.allocs_per_op, 0)});
   }
   ab.print();
 
@@ -168,6 +177,10 @@ int main(int argc, char** argv) {
                 "threshold\n");
     return 1;
   }
+  // Observed after the last FtCluster (whose ctor wiped the registry) so the
+  // figure survives into BENCH_throughput.json with the totem/rep metrics.
+  auto& apo = obs::Registry::global().summary("bench.allocs_per_op");
+  for (double v : allocs_per_op) apo.observe(v);
   obs_report("throughput");
   return 0;
 }

@@ -18,6 +18,22 @@
 
 namespace eternal::bench {
 
+/// Total global operator-new calls so far in this process. Exact, not
+/// sampled: the bench binaries link counting new/delete replacements
+/// (alloc_hook.cpp). Monotonic — diff two snapshots around a measured
+/// region to get its allocation cost.
+std::uint64_t alloc_count() noexcept;
+
+/// Snapshot-and-diff wrapper around alloc_count() for measured loops:
+///   AllocWindow aw; ...loop...; double apo = aw.per_op(samples);
+struct AllocWindow {
+  std::uint64_t start = alloc_count();
+  std::uint64_t delta() const noexcept { return alloc_count() - start; }
+  double per_op(std::uint64_t ops) const noexcept {
+    return ops == 0 ? 0.0 : static_cast<double>(delta()) / static_cast<double>(ops);
+  }
+};
+
 struct FtCluster {
   explicit FtCluster(std::size_t n, std::uint64_t seed = 1,
                      rep::EngineParams ep = {}, totem::Params tp = {})

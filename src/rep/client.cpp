@@ -37,6 +37,7 @@ Client::~Client() {
 
 Invocation Client::invoke(const std::string& group, const std::string& op,
                           cdr::Bytes args) {
+  // lint: hotpath — client-side send path, one pass per invocation
   // Backpressure: refuse new work while the Totem send queue is full or the
   // configured pipelining cap is reached. TRANSIENT tells the caller to
   // drain some outstanding invocations (step the simulation) and retry.
@@ -54,6 +55,7 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
   giop::RequestHeader hdr;
   hdr.request_id = static_cast<std::uint32_t>(op_id.op_seq);
   hdr.response_expected = true;
+  // lint:allow(hotpath-alloc: GIOP object key owns its bytes; ROADMAP item 2)
   hdr.object_key = cdr::Bytes(group.begin(), group.end());
   hdr.operation = op;
   giop::FtRequestContext ft;
@@ -61,6 +63,7 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
   ft.retention_id = static_cast<std::int32_t>(op_id.op_seq);
   ft.expiration_time =
       engine_.simulation().now() + 60 * sim::kSecond;
+  // lint:allow(hotpath-alloc: one FT service context per request; ROADMAP item 2)
   hdr.service_contexts.push_back(
       {static_cast<std::uint32_t>(giop::ServiceId::FtRequest), ft.encode()});
 
@@ -94,6 +97,7 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
   Outstanding out;
   out.env = env;
   out.client_span = client_span;
+  // lint:allow(hotpath-alloc: retry state must outlive the call; ROADMAP item 2)
   outstanding_.emplace(op_id, std::move(out));
   retransmit_arm(op_id);
 

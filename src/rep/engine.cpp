@@ -305,6 +305,7 @@ void Engine::on_message(const totem::GroupMessage& m) {
 
 void Engine::route(const Envelope& env, const GlobalSeq& carrier,
                    NodeId sender) {
+  // lint: hotpath — every delivered envelope demuxes through here
   // Sender-side duplicate suppression: a sibling's copy of an invocation or
   // response we have queued (staggered) cancels our send.
   if (env.kind == Kind::Invocation && sender != id()) {
@@ -315,6 +316,7 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
       counters_.sends_suppressed.inc();
       if (tracing()) {
         trace_ctx(env.op_id, obs::SpanEvent::SendSuppressed, env.ctx(),
+                  // lint:allow(hotpath-alloc: traced runs only)
                   "sibling=" + std::to_string(sender));
       }
     }
@@ -327,6 +329,7 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
       counters_.responses_suppressed.inc();
       if (tracing()) {
         trace_ctx(env.op_id, obs::SpanEvent::ResponseSuppressed, env.ctx(),
+                  // lint:allow(hotpath-alloc: traced runs only)
                   "sibling=" + std::to_string(sender));
       }
     }
@@ -336,6 +339,7 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
   // one record per (node, carrier), keyed by the operation identifier.
   if (tracing() && env.kind == Kind::Invocation) {
     trace_ctx(env.op_id, obs::SpanEvent::TotemDeliver, env.ctx(),
+              // lint:allow(hotpath-alloc: traced runs only)
               "carrier=" + carrier.str() + " from=" + std::to_string(sender) +
                   " target=" + env.target_group);
   }
@@ -352,6 +356,7 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
   switch (env.kind) {
     case Kind::Invocation:
       if (g.sync == SyncState::AwaitingSnapshot) {
+        // lint:allow(hotpath-alloc: resync buffering only, not steady state)
         g.buffered.emplace_back(env, carrier);
         return;
       }
@@ -360,6 +365,7 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
       return;
     case Kind::StateUpdate:
       if (g.sync == SyncState::AwaitingSnapshot) {
+        // lint:allow(hotpath-alloc: resync buffering only, not steady state)
         g.buffered.emplace_back(env, carrier);
         return;
       }
@@ -391,6 +397,7 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
 
 void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
                                const GlobalSeq& carrier) {
+  // lint: hotpath — dedup, logging, and execution hand-off per invocation
   // Receiver-side duplicate detection, keyed on the operation identifier.
   auto logged = g.reply_log.find(env.op_id);
   if (logged != g.reply_log.end()) {
@@ -413,6 +420,7 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
     }
     return;
   }
+  // lint:allow(hotpath-alloc: dedup set must retain the id; ROADMAP item 2)
   g.known_ops.insert(env.op_id);
 
   if (g.cfg.style == Style::Active) {
@@ -433,15 +441,19 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
   const bool read_only =
       g.replica && g.replica->is_read_only(req.request->operation);
   if (i_am_primary(g)) {
+    // lint:allow(hotpath-alloc: failover log and exec queue must copy; ROADMAP item 2)
     if (!read_only) g.invocation_log.push_back({env, carrier, false});
+    // lint:allow(hotpath-alloc: failover log and exec queue must copy; ROADMAP item 2)
     g.exec_queue.emplace_back(env, carrier);
     pump_exec_queue(g);
   } else if (!read_only) {
+    // lint:allow(hotpath-alloc: failover log and exec queue must copy; ROADMAP item 2)
     g.invocation_log.push_back({env, carrier, false});
   }
 }
 
 void Engine::pump_exec_queue(LocalGroup& g) {
+  // lint: hotpath
   while (!g.executing && !g.exec_hold && !g.exec_queue.empty()) {
     auto [env, carrier] = g.exec_queue.front();
     g.exec_queue.pop_front();
@@ -453,6 +465,8 @@ void Engine::pump_exec_queue(LocalGroup& g) {
 
 void Engine::start_execution(LocalGroup& g, const Envelope& env,
                              const GlobalSeq& carrier) {
+  // lint: hotpath — per-operation setup between delivery and user code
+  // lint:allow(hotpath-alloc: execution state is heap-backed until the arena of ROADMAP item 2)
   auto exec = std::make_unique<Execution>(env.op_id);
   Execution& ex = *exec;
   ex.op_id = env.op_id;
@@ -470,6 +484,7 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
   }
   ex.op_name = ex.request.request->operation;
   ex.read_only = g.replica->is_read_only(ex.op_name);
+  // lint:allow(hotpath-alloc: execution state is heap-backed until the arena of ROADMAP item 2)
   ex.ctx = std::make_unique<ExecContext>(*this, g.cfg.name, ex,
                                          g.primary_component);
   ex.exec_begin = sim_.now();
@@ -480,10 +495,9 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
                            "group=" + g.cfg.name + " op=" + ex.op_name);
   }
 
+  // lint:allow(hotpath-alloc: execution state is heap-backed until the arena of ROADMAP item 2)
   g.running.emplace(env.op_id, std::move(exec));
 
-  const std::string group_name = g.cfg.name;
-  const OperationId op_id = env.op_id;
   std::exception_ptr dispatch_error;
   try {
     cdr::Decoder args(ex.request.body);
@@ -495,7 +509,8 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
     finish_execution(g, ex, dispatch_error);
     return;
   }
-  ex.task.on_complete([this, group_name, op_id](std::exception_ptr error) {
+  ex.task.on_complete([this, group_name = g.cfg.name,
+                       op_id = env.op_id](std::exception_ptr error) {
     auto git = local_.find(group_name);
     if (git == local_.end()) return;
     auto eit = git->second.running.find(op_id);

@@ -1,6 +1,6 @@
 // Cross-replica divergence oracle.
 //
-// Static analysis (tools/detlint) keeps *known* sources of nondeterminism
+// Static analysis (detlint, tools/lint) keeps *known* sources of nondeterminism
 // out of replica code, but it cannot prove a servant deterministic — a
 // library call, a data race, or an untraced environmental read can still
 // make actively-replicated copies compute different state from the same

@@ -133,6 +133,7 @@ void Node::on_receive(NodeId /*from*/, const Bytes& wire) {
 // ---------------------------------------------------------------------------
 
 void Node::store_data(const DataMsg& d) {
+  // lint: hotpath — every frame passes through here, batched or not
   RingState* rs = nullptr;
   if (d.ring == cur_.id && cur_.id.valid()) {
     rs = &cur_;
@@ -142,12 +143,14 @@ void Node::store_data(const DataMsg& d) {
     return;  // foreign or obsolete ring
   }
   if (d.seq <= rs->delivered || rs->received.count(d.seq)) return;  // dup
+  // lint:allow(hotpath-alloc: retransmission store must copy; ROADMAP item 2)
   rs->received.emplace(d.seq, d);
   rs->high = std::max(rs->high, d.seq);
   while (rs->received.count(rs->my_aru + 1)) ++rs->my_aru;
 }
 
 void Node::handle_data(const DataMsg& d) {
+  // lint: hotpath
   const bool on_current =
       cur_.id.valid() && d.ring == cur_.id &&
       (state_ == State::Operational || state_ == State::Recovery);
@@ -165,6 +168,7 @@ void Node::handle_data(const DataMsg& d) {
 }
 
 void Node::handle_batch(const BatchMsg& b) {
+  // lint: hotpath
   // Unpack before anything else: each inner message is stored individually,
   // so retransmission, aru accounting and recovery never see batches.
   const bool on_current =
@@ -187,6 +191,7 @@ void Node::handle_batch(const BatchMsg& b) {
 }
 
 void Node::try_deliver() {
+  // lint: hotpath
   const std::uint64_t limit =
       params_.safe_delivery ? std::min(cur_.my_aru, cur_.safe) : cur_.my_aru;
   while (cur_.delivered < limit) {
@@ -201,6 +206,7 @@ void Node::try_deliver() {
 }
 
 void Node::dispatch(DataMsg& d, bool transitional, bool movable) {
+  // lint: hotpath — final hop of the delivery path
   if (d.flags & kFlagRecovery) {
     // A re-broadcast message from an earlier configuration: unwrap and file
     // it under that configuration so the flush can deliver it in old order.
@@ -210,6 +216,7 @@ void Node::dispatch(DataMsg& d, bool transitional, bool movable) {
   }
   if (d.group == kRecoveryDoneGroup) {
     if (d.ring != cur_.id) return;  // stale marker from a flushed ring
+    // lint:allow(hotpath-alloc: membership change only, never steady state)
     recovery_done_from_.insert(d.origin);
     if (state_ == State::Recovery) {
       bool all = true;
@@ -228,7 +235,7 @@ void Node::dispatch(DataMsg& d, bool transitional, bool movable) {
     ev.origin = d.origin;
     ev.control = (d.flags & kFlagControl) != 0;
     ev.transitional = transitional;
-    ev.group = d.group;
+    ev.group = movable ? std::move(d.group) : d.group;
     ev.payload = movable ? std::move(d.payload) : d.payload;
     deliver_(std::move(ev));
   }
@@ -263,6 +270,7 @@ void Node::cancel_token_timers() {
 }
 
 void Node::handle_token(TokenMsg t) {
+  // lint: hotpath — one visit per token rotation; sends, arus, and GC
   if (state_ != State::Operational && state_ != State::Recovery) return;
   if (!(t.ring == cur_.id) || t.dest != id_) return;
   if (t.token_id <= last_token_id_) return;  // duplicate/stale token
@@ -291,6 +299,7 @@ void Node::handle_token(TokenMsg t) {
       multicast(pkt);
       counters_.retransmissions.inc();
     } else {
+      // lint:allow(hotpath-alloc: bounded by max_retransmit_entries; ROADMAP item 2)
       still_missing.push_back(s);
     }
   }
@@ -309,6 +318,7 @@ void Node::handle_token(TokenMsg t) {
       tracer.span(sim_.now(), sim_.now(), id_, obs::OpRef{},
                   obs::SpanEvent::TokenVisitSend,
                   {d.trace_id, d.parent_span},
+                  // lint:allow(hotpath-alloc: traced frames only, off in production-shaped runs)
                   "seq=" + std::to_string(d.seq));
     }
   };
@@ -346,6 +356,8 @@ void Node::handle_token(TokenMsg t) {
         pkt.kind = MsgKind::Batch;
         pkt.batch.ring = cur_.id;
         pkt.batch.origin = id_;
+        pkt.batch.msgs.reserve(
+            std::min<std::size_t>(params_.max_batch, pending_.size()));
         while (pkt.batch.msgs.size() < params_.max_batch &&
                !pending_.empty()) {
           DataMsg d = std::move(pending_.front());
@@ -354,6 +366,7 @@ void Node::handle_token(TokenMsg t) {
           d.seq = ++t.seq;
           visit_span(d);
           counters_.broadcasts.inc();
+          // lint:allow(hotpath-alloc: moves into capacity reserved above)
           pkt.batch.msgs.push_back(std::move(d));
         }
         if (pkt.batch.msgs.size() == 1) {
@@ -382,6 +395,7 @@ void Node::handle_token(TokenMsg t) {
     if (!cur_.received.count(s) &&
         std::find(still_missing.begin(), still_missing.end(), s) ==
             still_missing.end()) {
+      // lint:allow(hotpath-alloc: bounded by max_retransmit_entries; ROADMAP item 2)
       still_missing.push_back(s);
     }
   }
@@ -404,6 +418,7 @@ void Node::handle_token(TokenMsg t) {
 }
 
 void Node::forward_token(TokenMsg t) {
+  // lint: hotpath — runs once per token visit
   t.dest = next_member(cur_.members, id_);
   t.token_id += 1;
   token_hold_timer_ = sim_.after(params_.token_hold, [this, t] {
@@ -415,6 +430,7 @@ void Node::forward_token(TokenMsg t) {
     unicast(t.dest, pkt);
     last_sent_token_ = t;
     // Retransmit the token if we see no evidence the next member got it.
+    // lint:allow(hotpath-alloc: resend closure outlives timer rearms; ROADMAP item 2)
     auto resend = std::make_shared<std::function<void()>>();
     *resend = [this, t, resend] {
       if (state_ != State::Operational && state_ != State::Recovery) return;

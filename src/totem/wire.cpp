@@ -44,12 +44,39 @@ std::vector<std::uint64_t> get_seqs(cdr::Decoder& dec) {
   return seqs;
 }
 
+// The group tag is the CDR string "g" + group: the leading 'g' keeps the
+// wire string non-empty even for the root group. Encoded field by field so
+// the hot path never builds the concatenated temporary; the byte layout is
+// exactly put_string("g" + group) — ulong(len+2), 'g', name bytes, NUL.
+void put_group_tag(cdr::Encoder& enc, const std::string& group) {
+  if (group.size() + 2 > 0xffffffffULL) {
+    throw cdr::MarshalError("group name too long");
+  }
+  enc.put_ulong(static_cast<std::uint32_t>(group.size()) + 2);
+  enc.put_octet('g');
+  enc.put_raw({reinterpret_cast<const std::uint8_t*>(group.data()),
+               group.size()});
+  enc.put_octet(0);
+}
+
+std::string get_group_tag(cdr::Decoder& dec) {
+  const std::uint32_t len = dec.get_ulong();
+  if (len < 2 || dec.get_octet() != 'g') {
+    throw cdr::MarshalError("bad group tag");
+  }
+  const auto name = dec.get_raw(len - 2);
+  if (dec.get_octet() != 0) {
+    throw cdr::MarshalError("group tag missing NUL terminator");
+  }
+  return std::string(reinterpret_cast<const char*>(name.data()), name.size());
+}
+
 void encode_data_into(cdr::Encoder& enc, const DataMsg& d) {
   put_ring(enc, d.ring);
   enc.put_ulonglong(d.seq);
   enc.put_ulong(d.origin);
   enc.put_octet(d.flags);
-  enc.put_string(std::string("g") + d.group);  // never empty on the wire
+  put_group_tag(enc, d.group);
   enc.put_octet_seq(d.payload);
   if (d.flags & kFlagTraced) {
     enc.put_ulonglong(d.trace_id);
@@ -67,9 +94,7 @@ DataMsg decode_data_from(cdr::Decoder& dec) {
   d.seq = dec.get_ulonglong();
   d.origin = dec.get_ulong();
   d.flags = dec.get_octet();
-  std::string g = dec.get_string();
-  if (g.empty() || g[0] != 'g') throw cdr::MarshalError("bad group tag");
-  d.group = g.substr(1);
+  d.group = get_group_tag(dec);
   d.payload = dec.get_octet_seq();
   if (d.flags & kFlagTraced) {
     d.trace_id = dec.get_ulonglong();
@@ -91,7 +116,7 @@ void encode_batch_into(cdr::Encoder& enc, const BatchMsg& b) {
     // so no old-ring coordinates per inner message.
     enc.put_ulonglong(d.seq);
     enc.put_octet(d.flags);
-    enc.put_string(std::string("g") + d.group);  // never empty on the wire
+    put_group_tag(enc, d.group);
     enc.put_octet_seq(d.payload);
     if (d.flags & kFlagTraced) {
       enc.put_ulonglong(d.trace_id);
@@ -116,9 +141,7 @@ BatchMsg decode_batch_from(cdr::Decoder& dec) {
     if (d.flags & kFlagRecovery) {
       throw cdr::MarshalError("recovery message inside batch");
     }
-    std::string g = dec.get_string();
-    if (g.empty() || g[0] != 'g') throw cdr::MarshalError("bad group tag");
-    d.group = g.substr(1);
+    d.group = get_group_tag(dec);
     d.payload = dec.get_octet_seq();
     if (d.flags & kFlagTraced) {
       d.trace_id = dec.get_ulonglong();

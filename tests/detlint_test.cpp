@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "lint.hpp"
+#include "detlint.hpp"
 
 namespace {
 

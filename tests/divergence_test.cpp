@@ -1,6 +1,6 @@
 // Divergence oracle: cross-replica state-digest comparison.
 //
-// The detlint static pass (tools/detlint) keeps known nondeterminism out of
+// The detlint static pass (tools/lint) keeps known nondeterminism out of
 // the tree; these tests prove the *runtime* side of the determinism story —
 // a servant that computes different state at different replicas, despite
 // receiving the same totally-ordered inputs, is caught at the next digest

@@ -1,0 +1,11 @@
+// hotpath-alloc fixture: a hot region with one of each allocation shape,
+// plus one suppressed and one sanctioned (reserve) line.
+void drain(Queue& q) {
+  // lint: hotpath
+  Slot* slot = new Slot();
+  q.log.push_back(slot->id);
+  q.name = std::string("tmp");
+  q.scratch.reserve(64);
+  // lint:allow(hotpath-alloc: warm-up fill, measured cold)
+  q.scratch.insert(q.scratch.end(), 4, 0);
+}

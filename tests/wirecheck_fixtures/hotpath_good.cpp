@@ -1,0 +1,14 @@
+// hotpath-alloc fixture: a clean hot region — reserve is sanctioned, a
+// moved-from declaration is exempt, and allocations after `lint: endpath`
+// are out of scope. Must produce zero findings.
+void pack(Buf& out, const Span& in) {
+  // lint: hotpath — packing loop must stay allocation-free
+  out.data.reserve(in.size);
+  for (size_t i = 0; i < in.size; ++i) {
+    out.data[i] = in.p[i];
+  }
+  Bytes tmp = std::move(out.data);
+  use(tmp);
+  // lint: endpath
+  out.trace.push_back(1);
+}

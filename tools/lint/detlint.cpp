@@ -1,14 +1,12 @@
-#include "lint.hpp"
+#include "detlint.hpp"
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
-#include <stdexcept>
+#include <tuple>
 
 namespace detlint {
 
@@ -20,18 +18,15 @@ const std::vector<std::string> kRules = {
 };
 
 // ---------------------------------------------------------------------------
-// Pass 1: scrub comments and literals.
-//
-// Produces a same-shape copy of the source with comment and string/char
-// literal *contents* blanked (newlines preserved, so line numbers survive),
-// while extracting `detlint:allow(...)` directives from comment text and
-// flagging `%p` inside string literals.
+// Pass 1: the shared lexer blanks comments and literals; detlint then
+// extracts its `detlint:allow(...)` directives from the comment texts and
+// flags `%p` inside the string literals.
 // ---------------------------------------------------------------------------
 
 struct Scrubbed {
-  std::string code;                 // literal/comment contents blanked
-  std::set<std::string> allowed;    // rules suppressed for this file
-  std::vector<int> percent_p_lines; // string literals containing "%p"
+  std::string code;                  // literal/comment contents blanked
+  std::set<std::string> allowed;     // rules suppressed for this file
+  std::vector<int> percent_p_lines;  // string literals containing "%p"
 };
 
 void collect_allows(const std::string& comment, std::set<std::string>& out) {
@@ -49,141 +44,16 @@ void collect_allows(const std::string& comment, std::set<std::string>& out) {
 }
 
 Scrubbed scrub(const std::string& text) {
-  enum class State { Code, LineComment, BlockComment, String, RawString, Char };
+  lint::Lexed lexed = lint::lex(text);
   Scrubbed out;
-  out.code.reserve(text.size());
-  State state = State::Code;
-  std::string comment;     // accumulates the current comment's text
-  std::string literal;     // accumulates the current string literal's text
-  std::string raw_delim;   // ")delim" terminator of the current raw string
-  int line = 1;
-  int literal_line = 1;
-
-  auto keep = [&](char c) { out.code.push_back(c); };
-  auto blank = [&](char c) { out.code.push_back(c == '\n' ? '\n' : ' '); };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::Code:
-        if (c == '/' && next == '/') {
-          state = State::LineComment;
-          comment.clear();
-          blank(c);
-        } else if (c == '/' && next == '*') {
-          state = State::BlockComment;
-          comment.clear();
-          blank(c);
-          blank(next);
-          ++i;
-        } else if (c == '"') {
-          // Raw string? The 'R' immediately precedes the quote (covers R"",
-          // u8R"", LR"" since we only need the char just before).
-          if (i > 0 && text[i - 1] == 'R') {
-            std::size_t paren = text.find('(', i + 1);
-            if (paren != std::string::npos) {
-              raw_delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
-              state = State::RawString;
-              literal.clear();
-              literal_line = line;
-              keep(c);
-              for (std::size_t j = i + 1; j <= paren; ++j) blank(text[j]);
-              i = paren;
-              break;
-            }
-          }
-          state = State::String;
-          literal.clear();
-          literal_line = line;
-          keep(c);
-        } else if (c == '\'') {
-          // Not a character literal if glued to an identifier or number —
-          // that is a digit separator (1'000'000) or suffix position.
-          const char prev = i > 0 ? text[i - 1] : '\0';
-          if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
-            keep(c);
-          } else {
-            state = State::Char;
-            keep(c);
-          }
-        } else {
-          keep(c);
-        }
-        break;
-      case State::LineComment:
-        if (c == '\n') {
-          collect_allows(comment, out.allowed);
-          state = State::Code;
-          keep(c);
-        } else {
-          comment.push_back(c);
-          blank(c);
-        }
-        break;
-      case State::BlockComment:
-        if (c == '*' && next == '/') {
-          collect_allows(comment, out.allowed);
-          state = State::Code;
-          blank(c);
-          blank(next);
-          ++i;
-        } else {
-          comment.push_back(c);
-          blank(c);
-        }
-        break;
-      case State::String:
-        if (c == '\\' && next != '\0') {
-          literal.push_back(c);
-          literal.push_back(next);
-          blank(c);
-          blank(next);
-          ++i;
-        } else if (c == '"') {
-          if (literal.find("%p") != std::string::npos) {
-            out.percent_p_lines.push_back(literal_line);
-          }
-          state = State::Code;
-          keep(c);
-        } else {
-          literal.push_back(c);
-          blank(c);
-        }
-        break;
-      case State::RawString:
-        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          if (literal.find("%p") != std::string::npos) {
-            out.percent_p_lines.push_back(literal_line);
-          }
-          for (std::size_t j = 0; j + 1 < raw_delim.size(); ++j) {
-            blank(text[i + j]);
-          }
-          keep('"');
-          i += raw_delim.size() - 1;
-          state = State::Code;
-        } else {
-          literal.push_back(c);
-          blank(c);
-        }
-        break;
-      case State::Char:
-        if (c == '\\' && next != '\0') {
-          blank(c);
-          blank(next);
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-          keep(c);
-        } else {
-          blank(c);
-        }
-        break;
-    }
-    if (c == '\n') ++line;
+  out.code = std::move(lexed.code);
+  for (const lint::Comment& c : lexed.comments) {
+    collect_allows(c.text, out.allowed);
   }
-  if (state == State::LineComment || state == State::BlockComment) {
-    collect_allows(comment, out.allowed);
+  for (const lint::StringLit& s : lexed.strings) {
+    if (s.text.find("%p") != std::string::npos) {
+      out.percent_p_lines.push_back(s.line);
+    }
   }
   return out;
 }
@@ -383,28 +253,6 @@ bool suppressed(const Scrubbed& s, const std::string& rule) {
   return s.allowed.count(rule) != 0 || s.allowed.count("all") != 0;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 const std::vector<std::string>& rule_ids() { return kRules; }
@@ -475,51 +323,12 @@ std::vector<Finding> lint_source(const std::string& file,
 }
 
 std::vector<Finding> lint_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("detlint: cannot read " + path);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return lint_source(path, text.str());
+  return lint_source(path, lint::read_file(path, "detlint"));
 }
-
-namespace {
-
-bool lintable(const std::filesystem::path& p) {
-  static const std::set<std::string> exts = {".cpp", ".cc", ".cxx",
-                                             ".hpp", ".hh", ".h"};
-  return exts.count(p.extension().string()) != 0;
-}
-
-bool skip_dir(const std::filesystem::path& p) {
-  const std::string name = p.filename().string();
-  return name == "detlint_fixtures" || name.rfind("build", 0) == 0 ||
-         (!name.empty() && name[0] == '.');
-}
-
-}  // namespace
 
 std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
                                 std::size_t* files_scanned) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> files;
-  for (const std::string& p : paths) {
-    if (fs::is_directory(p)) {
-      fs::recursive_directory_iterator it(p), end;
-      while (it != end) {
-        if (it->is_directory() && skip_dir(it->path())) {
-          it.disable_recursion_pending();
-        } else if (it->is_regular_file() && lintable(it->path())) {
-          files.push_back(it->path().string());
-        }
-        ++it;
-      }
-    } else {
-      files.push_back(p);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
+  const std::vector<std::string> files = lint::collect_sources(paths);
   std::vector<Finding> findings;
   for (const std::string& f : files) {
     std::vector<Finding> fs_ = lint_file(f);
@@ -530,26 +339,11 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths,
 }
 
 std::string to_text(const std::vector<Finding>& findings) {
-  std::ostringstream out;
-  for (const Finding& f : findings) {
-    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
-        << "\n";
-  }
-  return out.str();
+  return lint::to_text(findings);
 }
 
 std::string to_json(const std::vector<Finding>& findings) {
-  std::ostringstream out;
-  out << "{\"findings\":[";
-  for (std::size_t i = 0; i < findings.size(); ++i) {
-    const Finding& f = findings[i];
-    if (i) out << ",";
-    out << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
-        << ",\"rule\":\"" << json_escape(f.rule) << "\",\"message\":\""
-        << json_escape(f.message) << "\"}";
-  }
-  out << "]}";
-  return out.str();
+  return lint::to_json(findings);
 }
 
 }  // namespace detlint

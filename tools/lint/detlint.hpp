@@ -26,26 +26,21 @@
 // disables those rules for that file (the obs and bench layers legitimately
 // read clocks; the simulator owns the seeded PRNG).
 //
-// The analysis is lexical (comments and string literals are stripped first,
-// with light scope tracking for the class/function-sensitive rules). That
-// is deliberate: it needs no compiler integration, runs in milliseconds
-// over the whole tree, and the rules target patterns that are recognizable
-// at the token level.
+// The analysis is lexical: the shared lint::lex front end strips comments
+// and string literals first, then light scope tracking serves the
+// class/function-sensitive rules. That is deliberate: it needs no compiler
+// integration, runs in milliseconds over the whole tree, and the rules
+// target patterns that are recognizable at the token level.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "lexer.hpp"
+
 namespace detlint {
 
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-
-  bool operator==(const Finding&) const = default;
-};
+using Finding = lint::Finding;
 
 /// All rule ids, in reporting order.
 const std::vector<std::string>& rule_ids();
@@ -59,7 +54,7 @@ std::vector<Finding> lint_source(const std::string& file,
 std::vector<Finding> lint_file(const std::string& path);
 
 /// Lint files and/or directories. Directories are walked recursively for
-/// .cpp/.cc/.cxx/.hpp/.hh/.h files; directories named `detlint_fixtures`,
+/// .cpp/.cc/.cxx/.hpp/.hh/.h files; directories named `*_fixtures`,
 /// `build*` or starting with '.' are skipped (fixture files passed
 /// explicitly are still linted). Returns findings sorted by (file, line).
 /// `files_scanned`, when non-null, receives the number of files linted.

@@ -1,0 +1,74 @@
+// detlint CLI — see detlint.hpp for the rule set and rationale.
+//
+//   detlint [--json] [--quiet] <file-or-dir>...
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error. Registered as
+// the `detlint` ctest over src/, examples/ and tests/, which is what turns
+// the paper's determinism lesson into a build-breaking invariant.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: detlint [--json] [--quiet] [--list-rules] <file-or-dir>...\n"
+         "Scans C++ sources for replica-nondeterminism sources.\n"
+         "Suppress per file with: // detlint:allow(<rule>[,<rule>...])\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : detlint::rule_ids()) std::cout << r << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::size_t files = 0;
+  std::vector<detlint::Finding> findings;
+  try {
+    findings = detlint::lint_paths(paths, &files);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (json) {
+    std::cout << detlint::to_json(findings) << "\n";
+  } else if (!quiet) {
+    std::cout << detlint::to_text(findings);
+  }
+  if (!json && !quiet) {
+    std::cerr << "detlint: " << findings.size() << " finding(s) in " << files
+              << " file(s) scanned\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

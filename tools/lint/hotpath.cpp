@@ -1,0 +1,162 @@
+#include "hotpath.hpp"
+
+#include <algorithm>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace hotpath {
+
+namespace {
+
+const std::string kRule = "hotpath-alloc";
+
+struct PatternRule {
+  std::regex re;
+  std::string message;
+  bool move_exempt = false;  // a std::move on the line clears the finding
+};
+
+const std::vector<PatternRule>& patterns() {
+  static const std::vector<PatternRule> rules = [] {
+    std::vector<PatternRule> r;
+    auto add = [&r](const char* re, const char* msg, bool move_exempt = false) {
+      r.push_back({std::regex(re), msg, move_exempt});
+    };
+    add(R"(\bnew\b)",
+        "operator new on the hot path; arena allocation is ROADMAP item 2");
+    add(R"(\bmake_(unique|shared)\s*<)",
+        "heap allocation (make_unique/make_shared) on the hot path; arena "
+        "allocation is ROADMAP item 2");
+    add(R"(\.\s*(push_back|emplace_back|emplace|insert|append|resize)\s*\()",
+        "growing container operation on the hot path (reserve up front or "
+        "reuse a scratch buffer); arena allocation is ROADMAP item 2");
+    add(R"(\bstd::to_string\s*\()",
+        "std::to_string allocates on the hot path; format into a reused "
+        "buffer; arena allocation is ROADMAP item 2");
+    add(R"(\bstd::string\s*\()",
+        "temporary std::string allocates on the hot path; arena strings "
+        "are ROADMAP item 2");
+    add(R"(\bstd::string\s+\w+\s*[({=])",
+        "std::string local copies on the hot path (move it or reuse a "
+        "scratch string); arena strings are ROADMAP item 2",
+        /*move_exempt=*/true);
+    add(R"(\bBytes\s*\()",
+        "temporary Bytes buffer allocates on the hot path; arena buffers "
+        "are ROADMAP item 2");
+    add(R"(\bBytes\s+\w+\s*[({=])",
+        "Bytes local copies on the hot path (move it or reuse a scratch "
+        "buffer); arena buffers are ROADMAP item 2",
+        /*move_exempt=*/true);
+    return r;
+  }();
+  return rules;
+}
+
+struct Marker {
+  int line = 0;       // line the region opens after (comment end line)
+  bool end = false;   // endpath marker
+};
+
+std::vector<Marker> collect_markers(const std::vector<lint::Comment>& comments) {
+  static const std::regex open_re(R"(lint:\s*hotpath\b)");
+  static const std::regex close_re(R"(lint:\s*endpath\b)");
+  std::vector<Marker> out;
+  for (const lint::Comment& c : comments) {
+    if (std::regex_search(c.text, open_re)) out.push_back({c.end_line, false});
+    if (std::regex_search(c.text, close_re)) out.push_back({c.end_line, true});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Marker& a, const Marker& b) { return a.line < b.line; });
+  return out;
+}
+
+}  // namespace
+
+const std::string& rule_id() { return kRule; }
+
+std::vector<lint::Finding> analyze_source(const std::string& file,
+                                          const std::string& text,
+                                          Stats* stats) {
+  const lint::Lexed lexed = lint::lex(text);
+  if (stats) ++stats->files;
+  const std::vector<Marker> markers = collect_markers(lexed.comments);
+  if (markers.empty()) return {};
+
+  // Split the scrubbed code into lines and record each line's end-of-line
+  // brace depth: a hotpath marker covers every following line until the
+  // depth drops below the depth at the marker (= the innermost enclosing
+  // scope closes), or an endpath marker intervenes.
+  std::vector<std::string> code_lines;
+  std::vector<int> depth_end;
+  {
+    std::istringstream in(lexed.code);
+    std::string ln;
+    int depth = 0;
+    while (std::getline(in, ln)) {
+      for (char c : ln) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      code_lines.push_back(ln);
+      depth_end.push_back(depth);
+    }
+  }
+  const int last_line = static_cast<int>(code_lines.size());
+  auto depth_at = [&](int line) {
+    return (line >= 1 && line <= last_line) ? depth_end[line - 1] : 0;
+  };
+
+  std::vector<bool> hot(static_cast<std::size_t>(last_line) + 1, false);
+  std::size_t mi = 0;
+  std::size_t regions = 0;
+  while (mi < markers.size()) {
+    const Marker& m = markers[mi++];
+    if (m.end) continue;  // endpath with no open region
+    ++regions;
+    const int ref = depth_at(m.line);
+    int l = m.line + 1;
+    std::size_t next_end = mi;
+    while (next_end < markers.size() && !markers[next_end].end) ++next_end;
+    const int endpath = next_end < markers.size() ? markers[next_end].line
+                                                  : last_line + 1;
+    while (l <= last_line && depth_at(l) >= ref && l < endpath) {
+      hot[static_cast<std::size_t>(l)] = true;
+      ++l;
+    }
+    if (l == endpath && next_end < markers.size()) mi = next_end + 1;
+  }
+  if (stats) stats->regions += regions;
+
+  const lint::Allows allows = lint::parse_allows(lexed.comments);
+  static const std::regex move_re(R"(\bstd::move\s*\()");
+  std::vector<lint::Finding> findings;
+  for (int l = 1; l <= last_line; ++l) {
+    if (!hot[static_cast<std::size_t>(l)]) continue;
+    const std::string& ln = code_lines[static_cast<std::size_t>(l - 1)];
+    for (const PatternRule& r : patterns()) {
+      if (!std::regex_search(ln, r.re)) continue;
+      if (r.move_exempt && std::regex_search(ln, move_re)) continue;
+      if (allows.allowed(kRule, l, kRule)) continue;
+      findings.push_back({file, l, kRule, r.message});
+    }
+  }
+  lint::sort_findings(findings);
+  return findings;
+}
+
+std::vector<lint::Finding> analyze_paths(const std::vector<std::string>& paths,
+                                         Stats* stats) {
+  const std::vector<std::string> files = lint::collect_sources(paths);
+  std::vector<lint::Finding> findings;
+  for (const std::string& f : files) {
+    std::vector<lint::Finding> fs =
+        analyze_source(f, lint::read_file(f, "hotpath-alloc"), stats);
+    findings.insert(findings.end(), fs.begin(), fs.end());
+  }
+  if (stats) stats->files = files.size();
+  lint::sort_findings(findings);
+  return findings;
+}
+
+}  // namespace hotpath

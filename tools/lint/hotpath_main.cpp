@@ -1,24 +1,25 @@
-// detlint CLI — see lint.hpp for the rule set and rationale.
+// hotpath-alloc CLI — see hotpath.hpp for the rule and rationale.
 //
-//   detlint [--json] [--quiet] <file-or-dir>...
+//   hotpath_alloc [--json] [--quiet] <file-or-dir>...
 //
 // Exit status: 0 = clean, 1 = findings, 2 = usage/IO error. Registered as
-// the `detlint` ctest over src/, examples/ and tests/, which is what turns
-// the paper's determinism lesson into a build-breaking invariant.
+// the `hotpath_alloc` ctest over src/: the token-visit → deliver path must
+// not grow new heap traffic while the arena refactor (ROADMAP item 2) is
+// pending.
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "lint.hpp"
+#include "hotpath.hpp"
 
 namespace {
 
 void usage() {
   std::cerr
-      << "usage: detlint [--json] [--quiet] [--list-rules] <file-or-dir>...\n"
-         "Scans C++ sources for replica-nondeterminism sources.\n"
-         "Suppress per file with: // detlint:allow(<rule>[,<rule>...])\n";
+      << "usage: hotpath_alloc [--json] [--quiet] <file-or-dir>...\n"
+         "Flags heap allocations inside `// lint: hotpath` regions.\n"
+         "Suppress with: // lint:allow(hotpath-alloc: <reason>)\n";
 }
 
 }  // namespace
@@ -33,14 +34,11 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--quiet") {
       quiet = true;
-    } else if (arg == "--list-rules") {
-      for (const std::string& r : detlint::rule_ids()) std::cout << r << "\n";
-      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "detlint: unknown option " << arg << "\n";
+      std::cerr << "hotpath-alloc: unknown option " << arg << "\n";
       usage();
       return 2;
     } else {
@@ -52,22 +50,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::size_t files = 0;
-  std::vector<detlint::Finding> findings;
+  hotpath::Stats stats;
+  std::vector<lint::Finding> findings;
   try {
-    findings = detlint::lint_paths(paths, &files);
+    findings = hotpath::analyze_paths(paths, &stats);
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
   }
 
   if (json) {
-    std::cout << detlint::to_json(findings) << "\n";
+    std::cout << lint::to_json(findings) << "\n";
   } else if (!quiet) {
-    std::cout << detlint::to_text(findings);
+    std::cout << lint::to_text(findings);
   }
   if (!json && !quiet) {
-    std::cerr << "detlint: " << findings.size() << " finding(s) in " << files
+    std::cerr << "hotpath-alloc: " << findings.size() << " finding(s) in "
+              << stats.regions << " hot region(s) across " << stats.files
               << " file(s) scanned\n";
   }
   return findings.empty() ? 0 : 1;

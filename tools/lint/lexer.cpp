@@ -1,0 +1,367 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace lint {
+
+// ---------------------------------------------------------------------------
+// Findings and rendering.
+// ---------------------------------------------------------------------------
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) out << ",";
+    out << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+        << ",\"rule\":\"" << json_escape(f.rule) << "\",\"message\":\""
+        << json_escape(f.message) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Lexing. This is detlint's original scrubber state machine, verbatim in
+// its blanking behavior (the detlint goldens pin it down); the only change
+// is that comments and string literals are *returned* instead of being
+// consumed by detlint-specific directive/pattern extraction.
+// ---------------------------------------------------------------------------
+
+Lexed lex(const std::string& text) {
+  enum class State { Code, LineComment, BlockComment, String, RawString, Char };
+  Lexed out;
+  out.code.reserve(text.size());
+  State state = State::Code;
+  std::string comment;      // accumulates the current comment's text
+  std::string literal;      // accumulates the current string literal's text
+  std::string raw_delim;    // ")delim" terminator of the current raw string
+  int line = 1;
+  int comment_line = 1;
+  int literal_line = 1;
+  bool comment_own_line = true;
+  bool line_has_code = false;  // non-ws code seen on the current line
+
+  auto keep = [&](char c) {
+    out.code.push_back(c);
+    if (!std::isspace(static_cast<unsigned char>(c))) line_has_code = true;
+  };
+  auto blank = [&](char c) { out.code.push_back(c == '\n' ? '\n' : ' '); };
+  auto end_comment = [&] {
+    out.comments.push_back(
+        {comment, comment_line, line, comment_own_line});
+    comment.clear();
+  };
+  auto end_string = [&] {
+    out.strings.push_back({literal, literal_line});
+    literal.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          comment.clear();
+          comment_line = line;
+          comment_own_line = !line_has_code;
+          blank(c);
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          comment.clear();
+          comment_line = line;
+          comment_own_line = !line_has_code;
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string? The 'R' immediately precedes the quote (covers R"",
+          // u8R"", LR"" since we only need the char just before).
+          if (i > 0 && text[i - 1] == 'R') {
+            std::size_t paren = text.find('(', i + 1);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
+              state = State::RawString;
+              literal.clear();
+              literal_line = line;
+              keep(c);
+              for (std::size_t j = i + 1; j <= paren; ++j) blank(text[j]);
+              i = paren;
+              break;
+            }
+          }
+          state = State::String;
+          literal.clear();
+          literal_line = line;
+          keep(c);
+        } else if (c == '\'') {
+          // Not a character literal if glued to an identifier or number —
+          // that is a digit separator (1'000'000) or suffix position.
+          const char prev = i > 0 ? text[i - 1] : '\0';
+          if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+            keep(c);
+          } else {
+            state = State::Char;
+            keep(c);
+          }
+        } else {
+          keep(c);
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          end_comment();
+          state = State::Code;
+          keep(c);
+        } else {
+          comment.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          end_comment();
+          state = State::Code;
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          comment.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::String:
+        if (c == '\\' && next != '\0') {
+          literal.push_back(c);
+          literal.push_back(next);
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          end_string();
+          state = State::Code;
+          keep(c);
+        } else {
+          literal.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::RawString:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          end_string();
+          for (std::size_t j = 0; j + 1 < raw_delim.size(); ++j) {
+            blank(text[i + j]);
+          }
+          keep('"');
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else {
+          literal.push_back(c);
+          blank(c);
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          keep(c);
+        } else {
+          blank(c);
+        }
+        break;
+    }
+    if (c == '\n') {
+      ++line;
+      line_has_code = false;
+    }
+  }
+  if (state == State::LineComment || state == State::BlockComment) {
+    end_comment();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives.
+// ---------------------------------------------------------------------------
+
+bool Allows::allowed(const std::string& rule, int line,
+                     const std::string& umbrella) const {
+  auto hits = [&](const std::set<std::string>& rules) {
+    return rules.count(rule) != 0 || rules.count(umbrella) != 0 ||
+           rules.count("all") != 0;
+  };
+  if (hits(file_rules)) return true;
+  auto it = line_rules.find(line);
+  return it != line_rules.end() && hits(it->second);
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// `<rule>[: reason]` names one rule; `<rule>,<rule>,...` several (a reason
+// containing commas therefore requires the single-rule form).
+std::vector<std::string> parse_rule_list(const std::string& body) {
+  std::vector<std::string> rules;
+  const auto colon = body.find(':');
+  if (colon != std::string::npos) {
+    const std::string rule = trim(body.substr(0, colon));
+    if (!rule.empty()) rules.push_back(rule);
+    return rules;
+  }
+  std::stringstream ss(body);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    rule = trim(rule);
+    if (!rule.empty()) rules.push_back(rule);
+  }
+  return rules;
+}
+
+}  // namespace
+
+Allows parse_allows(const std::vector<Comment>& comments) {
+  static const std::regex line_re(R"(lint:\s*allow\(([^)]*)\))");
+  static const std::regex file_re(R"(lint:\s*allow-file\(([^)]*)\))");
+  Allows out;
+  for (const Comment& c : comments) {
+    for (auto it = std::sregex_iterator(c.text.begin(), c.text.end(), file_re);
+         it != std::sregex_iterator(); ++it) {
+      for (const std::string& r : parse_rule_list((*it)[1].str())) {
+        out.file_rules.insert(r);
+      }
+    }
+    // `lint:allow-file(...)` also matches the `lint:allow(...)` regex up to
+    // the '('; the '-file' suffix keeps the patterns disjoint because the
+    // line regex requires '(' directly after "allow".
+    for (auto it = std::sregex_iterator(c.text.begin(), c.text.end(), line_re);
+         it != std::sregex_iterator(); ++it) {
+      for (const std::string& r : parse_rule_list((*it)[1].str())) {
+        // A trailing comment covers its own line(s); a comment on its own
+        // line covers the statement that follows it.
+        for (int l = c.line; l <= c.end_line; ++l) out.line_rules[l].insert(r);
+        if (c.own_line) out.line_rules[c.end_line + 1].insert(r);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Source discovery.
+// ---------------------------------------------------------------------------
+
+std::string read_file(const std::string& path, const std::string& tool) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(tool + ": cannot read " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+namespace {
+
+bool lintable(const std::filesystem::path& p) {
+  static const std::set<std::string> exts = {".cpp", ".cc", ".cxx",
+                                             ".hpp", ".hh", ".h"};
+  return exts.count(p.extension().string()) != 0;
+}
+
+bool skip_dir(const std::filesystem::path& p) {
+  const std::string name = p.filename().string();
+  if (name.size() >= 9 && name.compare(name.size() - 9, 9, "_fixtures") == 0) {
+    return true;
+  }
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (fs::is_directory(p)) {
+      fs::recursive_directory_iterator it(p), end;
+      while (it != end) {
+        if (it->is_directory() && skip_dir(it->path())) {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path().string());
+        }
+        ++it;
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace lint

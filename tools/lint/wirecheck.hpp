@@ -1,0 +1,80 @@
+// wirecheck — static wire-symmetry analysis for encode/decode pairs.
+//
+// The paper's hardest interoperability lesson is silent protocol drift:
+// a replica that decodes what a peer encoded *slightly* differently —
+// one field reordered, one width widened, one flag branch forgotten —
+// corrupts replicated state without any error at the call site, and the
+// corruption only surfaces under failover, long after the edit that
+// caused it. The wire formats here (rep::Envelope, totem Data/Batch/Token
+// frames, the ETFR flight-recorder dump) are hand-rolled CDR; nothing but
+// example-based round-trip tests kept their writers and readers in sync.
+//
+// wirecheck makes the symmetry a checked invariant. It lexically parses
+// every matched encode*/decode* (put_*/get_*) function pair in the scanned
+// sources into an *operation tree* — the sequence of CDR primitives the
+// function touches, with conditionals (flag-guarded fields), loops
+// (sequences) and switches (kind dispatch) as structured nodes — and then
+// compares each writer's tree against its reader's, position by position.
+//
+// Rules (ids are stable; used by the suppression syntax and the tests):
+//   field-mismatch   writer and reader disagree on a field's wire type,
+//                    order, or count at some position
+//   flag-mismatch    a conditionally written field group is guarded by a
+//                    different flag (or not guarded at all) on the other
+//                    side
+//   switch-case      a kind handled by one side of a paired codec switch
+//                    is missing on the other
+//   switch-coverage  a switch over a known enum, with no default, misses
+//                    an enumerator (checked for *every* switch scanned,
+//                    paired or not — this is the MsgKind exhaustiveness
+//                    gate)
+//
+// Pairing: functions are grouped by *stem* — the name with its
+// put_/get_/encode_/decode_ prefix and _into/_from/_payload suffix
+// stripped (bare Type::encode/Type::decode members use the type name).
+// Writers and readers with equal stems pair in order of appearance; as a
+// last resort a file's single remaining bare `encode`/`decode` pairs with
+// the single remaining reader/writer. Everything else stays unpaired and
+// is *not* reported: one-way formats (checkpoint dumps read by multi-pass
+// appliers, GIOP demux) are legitimate.
+//
+// Suppression:
+//   // lint:allow(<rule>[: reason])   on or above the offending line
+//   // lint:allow-file(<rule>)        whole file (e.g. src/cdr/* — the
+//                                     primitive layer is the trust root,
+//                                     verified by cdr_test round-trips)
+// `lint:allow(wirecheck)` suppresses all four rules.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace wirecheck {
+
+struct Stats {
+  std::size_t files = 0;     // files scanned
+  std::size_t pairs = 0;     // writer/reader pairs compared
+  std::size_t switches = 0;  // switches checked for enum coverage
+};
+
+/// All rule ids, in reporting order.
+const std::vector<std::string>& rule_ids();
+
+/// Analyze one translation unit given its text (file name is used only for
+/// reporting). Enum definitions for switch coverage are taken from the
+/// same text. Honors `lint:allow` comments found in `text`.
+std::vector<lint::Finding> analyze_source(const std::string& file,
+                                          const std::string& text,
+                                          Stats* stats = nullptr);
+
+/// Analyze files and/or directories (walked as in lint::collect_sources).
+/// Enum definitions are collected from *all* scanned files first, so a
+/// switch in one file is checked against an enum declared in another.
+/// Returns findings sorted by (file, line).
+std::vector<lint::Finding> analyze_paths(const std::vector<std::string>& paths,
+                                         Stats* stats = nullptr);
+
+}  // namespace wirecheck

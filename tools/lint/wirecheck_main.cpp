@@ -1,0 +1,79 @@
+// wirecheck CLI — see wirecheck.hpp for the rule set and rationale.
+//
+//   wirecheck [--json] [--quiet] [--list-rules] <file-or-dir>...
+//
+// Exit status: 0 = clean, 1 = findings, 2 = usage/IO error. Registered as
+// the `wirecheck` ctest over src/, which is what turns the paper's
+// protocol-drift lesson into a build-breaking invariant.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "wirecheck.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: wirecheck [--json] [--quiet] [--list-rules] "
+         "<file-or-dir>...\n"
+         "Checks encode/decode pairs for wire-format symmetry and switch\n"
+         "coverage. Suppress with: // lint:allow(<rule>[: reason])\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : wirecheck::rule_ids()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "wirecheck: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  wirecheck::Stats stats;
+  std::vector<lint::Finding> findings;
+  try {
+    findings = wirecheck::analyze_paths(paths, &stats);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (json) {
+    std::cout << lint::to_json(findings) << "\n";
+  } else if (!quiet) {
+    std::cout << lint::to_text(findings);
+  }
+  if (!json && !quiet) {
+    std::cerr << "wirecheck: " << findings.size() << " finding(s); "
+              << stats.pairs << " codec pair(s) and " << stats.switches
+              << " switch(es) checked in " << stats.files
+              << " file(s) scanned\n";
+  }
+  return findings.empty() ? 0 : 1;
+}
