@@ -79,7 +79,7 @@ int main() {
   // Identifier overhead: envelope bytes minus the GIOP request it carries.
   giop::RequestHeader hdr;
   hdr.request_id = 1;
-  hdr.object_key = {'a', 'c', 'c', 't'};
+  hdr.object_key = cdr::WireBuf(cdr::Bytes{'a', 'c', 'c', 't'});
   hdr.operation = "withdraw";
   const cdr::Bytes giop_wire = giop::encode_request(hdr, i64_arg(1));
   rep::Envelope env;
@@ -87,7 +87,7 @@ int main() {
   env.target_group = "acct";
   env.reply_group = "teller";
   env.source_group = "teller";
-  env.giop = giop_wire;
+  env.giop = cdr::WireBuf(giop_wire);
   const std::size_t overhead = rep::encode(env).size() - giop_wire.size();
   std::printf("\nper-invocation identifier+envelope overhead: %zu bytes on "
               "a %zu-byte GIOP request\n",

@@ -57,17 +57,19 @@ LatencyPoint ft_latency(rep::Style style, std::size_t payload, int samples) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   banner("E1", "invocation latency vs request size (echo, 3 replicas)");
-  const int samples = 50;
+  const int samples = smoke ? 15 : 50;
+  const std::vector<std::size_t> payloads =
+      smoke ? std::vector<std::size_t>{16, 4096}
+            : std::vector<std::size_t>{16, 256, 1024, 4096, 16384, 65536};
   Table table({"payload", "IIOP baseline (us)", "FT active (us)", "overhead",
                "FT warm passive (us)", "overhead"});
   Table allocs({"payload", "baseline allocs/op", "FT active allocs/op",
                 "FT warm passive allocs/op"});
   std::vector<double> ft_allocs_per_op;
-  for (std::size_t payload :
-       {std::size_t{16}, std::size_t{256}, std::size_t{1024},
-        std::size_t{4096}, std::size_t{16384}, std::size_t{65536}}) {
+  for (std::size_t payload : payloads) {
     const LatencyPoint base = baseline_latency(payload, samples);
     const LatencyPoint active =
         ft_latency(rep::Style::Active, payload, samples);
@@ -91,5 +93,5 @@ int main() {
   auto& apo = obs::Registry::global().summary("bench.allocs_per_op");
   for (double v : ft_allocs_per_op) apo.observe(v);
   obs_report("latency");
-  return 0;
+  return enforce_alloc_budget(alloc_budget(argc, argv), ft_allocs_per_op);
 }

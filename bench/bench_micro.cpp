@@ -9,6 +9,7 @@
 #include "obs/obs.hpp"
 #include "rep/oracle.hpp"
 #include "rep/wire.hpp"
+#include "totem/fabric.hpp"
 #include "totem/wire.hpp"
 
 using namespace eternal;
@@ -43,7 +44,7 @@ BENCHMARK(BM_CdrStringRoundTrip)->Arg(16)->Arg(256)->Arg(4096);
 void BM_GiopRequestRoundTrip(benchmark::State& state) {
   giop::RequestHeader hdr;
   hdr.request_id = 42;
-  hdr.object_key = {'g', 'r', 'o', 'u', 'p'};
+  hdr.object_key = cdr::WireBuf(cdr::Bytes{'g', 'r', 'o', 'u', 'p'});
   hdr.operation = "increment";
   cdr::Bytes body(static_cast<std::size_t>(state.range(0)), 0xAB);
   for (auto _ : state) {
@@ -62,10 +63,10 @@ void BM_EnvelopeRoundTrip(benchmark::State& state) {
   env.target_group = "acct.checking";
   env.reply_group = "teller";
   env.source_group = "teller";
-  env.giop = cdr::Bytes(256, 0xCD);
+  env.giop = cdr::WireBuf(cdr::Bytes(256, 0xCD));
   for (auto _ : state) {
     cdr::Bytes wire = rep::encode(env);
-    rep::Envelope out = rep::decode_envelope(wire);
+    rep::Envelope out = rep::decode_envelope(cdr::WireBuf(wire));
     benchmark::DoNotOptimize(out.target_group.data());
   }
 }
@@ -78,7 +79,7 @@ void BM_TotemDataRoundTrip(benchmark::State& state) {
   pkt.data.seq = 1234;
   pkt.data.origin = 3;
   pkt.data.group = "inventory";
-  pkt.data.payload = cdr::Bytes(512, 0xEF);
+  pkt.data.payload = cdr::WireBuf(cdr::Bytes(512, 0xEF));
   for (auto _ : state) {
     totem::Bytes wire = totem::encode(pkt);
     totem::Packet out = totem::decode_packet(wire);
@@ -180,13 +181,42 @@ void BM_OracleObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_OracleObserve);
 
+// Wall-clock cost of draining a batch through the ring: a burst of messages
+// is multicast by one member and the simulation steps until every member has
+// delivered the whole batch. Exercises the contiguous deliver-queue drain in
+// the Totem node (one pass per token visit, not one pass per message).
+void BM_DeliverDrain(benchmark::State& state) {
+  const std::size_t nodes = 3;
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  totem::Params tp;
+  sim::Simulation sim(1);
+  sim::Network net(sim, nodes);
+  totem::Fabric fabric(sim, net, tp);
+  std::size_t delivered = 0;
+  for (sim::NodeId i = 0; i < nodes; ++i) {
+    fabric.group(i).subscribe(
+        "g", [&](const totem::GroupMessage&) { ++delivered; });
+  }
+  fabric.start_all();
+  fabric.run_until_converged(5 * sim::kSecond);
+  const cdr::WireBuf msg(cdr::Bytes(64, 0xAB));
+  for (auto _ : state) {
+    delivered = 0;
+    for (std::size_t i = 0; i < batch; ++i) fabric.group(0).send("g", msg);
+    while (delivered < batch * nodes) sim.step();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_DeliverDrain)->Arg(16)->Arg(64);
+
 void BM_FtRequestContext(benchmark::State& state) {
   giop::FtRequestContext ctx;
   ctx.client_id = "client.4";
   ctx.retention_id = 77;
   ctx.expiration_time = 123456789;
   for (auto _ : state) {
-    auto bytes = ctx.encode();
+    cdr::WireBuf bytes(ctx.encode());
     benchmark::DoNotOptimize(giop::FtRequestContext::decode(bytes));
   }
 }

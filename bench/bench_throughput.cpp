@@ -182,5 +182,5 @@ int main(int argc, char** argv) {
   auto& apo = obs::Registry::global().summary("bench.allocs_per_op");
   for (double v : allocs_per_op) apo.observe(v);
   obs_report("throughput");
-  return 0;
+  return enforce_alloc_budget(alloc_budget(argc, argv), allocs_per_op);
 }

@@ -14,6 +14,11 @@ using namespace eternal::bench;
 
 namespace {
 
+cdr::WireBuf payload(const std::string& s) {
+  return cdr::WireBuf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
 struct Result {
   double latency_us = 0;   // send -> delivered at every node (mean)
   double ops_per_sec = 0;  // sustained ordered messages/second
@@ -31,7 +36,8 @@ Result measure(std::size_t nodes, bool safe) {
   std::map<std::string, sim::Time> sent_at;
   for (sim::NodeId i = 0; i < nodes; ++i) {
     fabric.group(i).subscribe("g", [&, i](const totem::GroupMessage& m) {
-      const std::string key(m.payload.begin(), m.payload.end());
+      const std::string key(reinterpret_cast<const char*>(m.payload.data()),
+                            m.payload.size());
       if (++deliveries[key] == nodes) complete_at[key] = sim.now();
     });
   }
@@ -43,7 +49,7 @@ Result measure(std::size_t nodes, bool safe) {
   for (int i = 0; i < 50; ++i) {
     const std::string key = "m" + std::to_string(i);
     sent_at[key] = sim.now();
-    fabric.group(i % nodes).send("g", totem::Bytes(key.begin(), key.end()));
+    fabric.group(i % nodes).send("g", payload(key));
     while (complete_at.find(key) == complete_at.end()) sim.step();
     lat.add(static_cast<double>(complete_at[key] - sent_at[key]));
   }
@@ -53,7 +59,7 @@ Result measure(std::size_t nodes, bool safe) {
   const sim::Time start = sim.now();
   for (int i = 0; i < burst; ++i) {
     const std::string key = "b" + std::to_string(i);
-    fabric.group(i % nodes).send("g", totem::Bytes(key.begin(), key.end()));
+    fabric.group(i % nodes).send("g", payload(key));
   }
   while (complete_at.size() < 50u + burst &&
          sim.now() < start + 300 * sim::kSecond) {

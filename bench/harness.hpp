@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,34 @@ struct AllocWindow {
     return ops == 0 ? 0.0 : static_cast<double>(delta()) / static_cast<double>(ops);
   }
 };
+
+/// Committed allocation budget: `--max-allocs <N>` on a bench command line.
+/// Zero when absent (no budget enforced).
+inline double alloc_budget(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-allocs") == 0) return std::atof(argv[i + 1]);
+  }
+  return 0.0;
+}
+
+/// The allocs/op regression guard ctest wires onto the smoke runs: nonzero
+/// exit when the mean of the measured FT allocs/op figures exceeds the
+/// budget committed in bench/CMakeLists.txt.
+inline int enforce_alloc_budget(double budget,
+                                const std::vector<double>& allocs_per_op) {
+  if (budget <= 0.0 || allocs_per_op.empty()) return 0;
+  double sum = 0;
+  for (double v : allocs_per_op) sum += v;
+  const double mean = sum / static_cast<double>(allocs_per_op.size());
+  std::printf("\nalloc budget: mean %.1f allocs/op vs committed max %.1f\n",
+              mean, budget);
+  if (mean > budget) {
+    std::printf("FAIL: allocation regression — mean allocs/op %.1f exceeds "
+                "the committed budget %.1f\n", mean, budget);
+    return 1;
+  }
+  return 0;
+}
 
 struct FtCluster {
   explicit FtCluster(std::size_t n, std::uint64_t seed = 1,

@@ -1,0 +1,217 @@
+// detlint:allow(static-local) — process-wide slab pool singleton (Meyers
+// `global()`), shared allocator state, not replica state.
+#include "cdr/arena.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace eternal::cdr {
+
+namespace {
+
+constexpr std::size_t kClassBytes[SlabPool::kClasses] = {
+    std::size_t{1} << 12, std::size_t{1} << 14, std::size_t{1} << 16,
+    std::size_t{1} << 18, std::size_t{1} << 20, std::size_t{1} << 22,
+};
+
+}  // namespace
+
+SlabPool& SlabPool::global() {
+  static SlabPool pool;
+  return pool;
+}
+
+Slab* SlabPool::acquire(std::size_t min_capacity) {
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    if (kClassBytes[c] < min_capacity) continue;
+    ++live_;
+    if (!free_[c].empty()) {
+      Slab* s = free_[c].back();
+      free_[c].pop_back();
+      s->refs = 1;
+      return s;
+    }
+    Slab* s = new Slab;
+    s->refs = 1;
+    s->size_class = static_cast<std::uint32_t>(c);
+    s->capacity = kClassBytes[c];
+    s->data = new std::uint8_t[s->capacity];
+    return s;
+  }
+  // Bigger than the largest class: a one-off slab, freed on last unref.
+  ++live_;
+  Slab* s = new Slab;
+  s->refs = 1;
+  s->size_class = kOversize;
+  s->capacity = min_capacity;
+  s->data = new std::uint8_t[s->capacity];
+  return s;
+}
+
+void SlabPool::release(Slab* s) noexcept {
+  --live_;
+  if (s->size_class == kOversize ||
+      free_[s->size_class].size() >= kMaxPooledPerClass) {
+    delete[] s->data;
+    delete s;
+    return;
+  }
+  free_[s->size_class].push_back(s);
+}
+
+std::size_t SlabPool::pooled() const noexcept {
+  std::size_t n = 0;
+  for (const auto& f : free_) n += f.size();
+  return n;
+}
+
+void SlabPool::trim() {
+  for (auto& f : free_) {
+    for (Slab* s : f) {
+      delete[] s->data;
+      delete s;
+    }
+    f.clear();
+  }
+}
+
+SlabPool::~SlabPool() { trim(); }
+
+// ---------------------------------------------------------------------------
+// WireBuf
+// ---------------------------------------------------------------------------
+
+WireBuf::WireBuf(std::span<const std::uint8_t> bytes)
+    : slab_(nullptr), off_(0), len_(static_cast<std::uint32_t>(bytes.size())) {
+  if (bytes.size() <= kInlineCapacity) {
+    if (!bytes.empty()) std::memcpy(inline_.data(), bytes.data(), bytes.size());
+    return;
+  }
+  slab_ = SlabPool::global().acquire(bytes.size());
+  std::memcpy(slab_->data, bytes.data(), bytes.size());
+}
+
+WireBuf::WireBuf(const WireBuf& o) : slab_(o.slab_), off_(o.off_), len_(o.len_) {
+  if (slab_) {
+    SlabPool::global().ref(slab_);
+  } else if (len_ != 0) {
+    std::memcpy(inline_.data(), o.inline_.data(), len_);
+  }
+}
+
+WireBuf::WireBuf(WireBuf&& o) noexcept
+    : slab_(o.slab_), off_(o.off_), len_(o.len_) {
+  if (!slab_ && len_ != 0) {
+    std::memcpy(inline_.data(), o.inline_.data(), len_);
+  }
+  o.slab_ = nullptr;
+  o.len_ = 0;
+}
+
+WireBuf& WireBuf::operator=(const WireBuf& o) {
+  if (this == &o) return *this;
+  if (o.slab_) SlabPool::global().ref(o.slab_);
+  drop();
+  slab_ = o.slab_;
+  off_ = o.off_;
+  len_ = o.len_;
+  if (!slab_ && len_ != 0) std::memcpy(inline_.data(), o.inline_.data(), len_);
+  return *this;
+}
+
+WireBuf& WireBuf::operator=(WireBuf&& o) noexcept {
+  if (this == &o) return *this;
+  drop();
+  slab_ = o.slab_;
+  off_ = o.off_;
+  len_ = o.len_;
+  if (!slab_ && len_ != 0) std::memcpy(inline_.data(), o.inline_.data(), len_);
+  o.slab_ = nullptr;
+  o.len_ = 0;
+  return *this;
+}
+
+WireBuf WireBuf::adopt(Slab* s, std::size_t off, std::size_t len) noexcept {
+  WireBuf b;
+  b.slab_ = s;
+  b.off_ = static_cast<std::uint32_t>(off);
+  b.len_ = static_cast<std::uint32_t>(len);
+  return b;
+}
+
+WireBuf WireBuf::slice(std::size_t off, std::size_t len) const {
+  if (off + len > len_) {
+    throw std::out_of_range("WireBuf::slice past end of frame");
+  }
+  if (!slab_) {
+    return WireBuf(std::span<const std::uint8_t>(inline_.data() + off, len));
+  }
+  SlabPool::global().ref(slab_);
+  return adopt(slab_, off_ + off, len);
+}
+
+void WireBuf::drop() noexcept {
+  if (slab_) {
+    SlabPool::global().unref(slab_);
+    slab_ = nullptr;
+  }
+  len_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+std::uint8_t* Arena::begin_frame(std::size_t reserve) {
+  if (open_) {
+    throw std::logic_error("Arena: frame already open (one Writer at a time)");
+  }
+  if (reserve == 0) reserve = 1;
+  if (!cur_ || cur_->capacity - pos_ < reserve) {
+    SlabPool& pool = SlabPool::global();
+    if (cur_) pool.unref(cur_);
+    cur_ = pool.acquire(reserve > min_slab_ ? reserve : min_slab_);
+    pos_ = 0;
+  }
+  frame_base_ = pos_;
+  open_ = true;
+  return cur_->data + frame_base_;
+}
+
+std::uint8_t* Arena::grow_frame(std::size_t used, std::size_t min_capacity) {
+  SlabPool& pool = SlabPool::global();
+  Slab* bigger = pool.acquire(
+      min_capacity > cur_->capacity * 2 ? min_capacity : cur_->capacity * 2);
+  if (used != 0) std::memcpy(bigger->data, cur_->data + frame_base_, used);
+  pool.unref(cur_);
+  cur_ = bigger;
+  frame_base_ = 0;
+  pos_ = 0;
+  return cur_->data;
+}
+
+WireBuf Arena::seal_frame(std::size_t len) {
+  open_ = false;
+  if (len <= WireBuf::kInlineCapacity) {
+    // Small frame: hand back an inline copy and reuse the arena bytes.
+    return WireBuf(
+        std::span<const std::uint8_t>(cur_->data + frame_base_, len));
+  }
+  pos_ = (frame_base_ + len + 7) & ~std::size_t{7};
+  SlabPool::global().ref(cur_);
+  return WireBuf::adopt(cur_, frame_base_, len);
+}
+
+void Arena::abandon_frame() noexcept { open_ = false; }
+
+void Arena::reset() noexcept {
+  if (cur_) {
+    SlabPool::global().unref(cur_);
+    cur_ = nullptr;
+  }
+  pos_ = 0;
+  frame_base_ = 0;
+  open_ = false;
+}
+
+}  // namespace eternal::cdr

@@ -15,6 +15,7 @@
 // real ORB does.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -25,9 +26,9 @@
 #include <string_view>
 #include <vector>
 
-namespace eternal::cdr {
+#include "cdr/arena.hpp"
 
-using Bytes = std::vector<std::uint8_t>;
+namespace eternal::cdr {
 
 /// Thrown on underflow, malformed lengths, or bounds violations while
 /// demarshaling. A real ORB maps this to the CORBA::MARSHAL system exception.
@@ -47,6 +48,9 @@ class Encoder {
   const Bytes& data() const noexcept { return buf_; }
   Bytes take() noexcept { return std::move(buf_); }
   std::size_t size() const noexcept { return buf_.size(); }
+  /// Forget the content but keep the capacity — pooled encoders (engine
+  /// execution results) reuse their allocation across operations.
+  void clear() noexcept { buf_.clear(); }
 
   void align(std::size_t alignment);
 
@@ -100,12 +104,148 @@ class Encoder {
   Bytes buf_;
 };
 
+/// CDR writer encoding in place over an arena-backed frame. The hot-path
+/// replacement for Encoder: same put_* surface and identical bytes, but the
+/// destination is an Arena frame, growth is a slab upgrade instead of vector
+/// reallocation, and seal() hands back an immutable WireBuf (inline when
+/// small, refcounted slab reference when large).
+///
+/// Two affordances Encoder never had:
+///   * reserve_ulong()/patch_ulong() — reserve a length field up front and
+///     backpatch it after the content is written (GIOP message size, batch
+///     counts), killing the encode-then-copy-into-outer-frame pass.
+///   * begin_encapsulation()/end_encapsulation() — encapsulations written
+///     in place as sub-streams of the same frame (length backpatched, inner
+///     alignment relative to the endian flag), byte-identical to building an
+///     inner Encoder and passing it to put_encapsulation.
+///
+/// One Writer may be open per Arena at a time; destroying an unsealed
+/// Writer abandons the frame.
+class Writer {
+ public:
+  explicit Writer(Arena& arena, std::size_t reserve = 256)
+      : arena_(arena),
+        base_(arena.begin_frame(reserve)),
+        cap_(arena.frame_capacity()) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+  ~Writer() {
+    if (!sealed_) arena_.abandon_frame();
+  }
+
+  std::size_t size() const noexcept { return len_; }
+  /// The bytes written so far (valid until the next put grows the frame).
+  std::span<const std::uint8_t> written() const noexcept {
+    return {base_, len_};
+  }
+
+  void align(std::size_t alignment);
+
+  void put_octet(std::uint8_t v) {
+    ensure(1);
+    base_[len_++] = v;
+  }
+  void put_boolean(bool v) { put_octet(v ? 1 : 0); }
+  void put_char(char v) { put_octet(static_cast<std::uint8_t>(v)); }
+  void put_ushort(std::uint16_t v) { put_aligned(v); }
+  void put_short(std::int16_t v) { put_aligned(static_cast<std::uint16_t>(v)); }
+  void put_ulong(std::uint32_t v) { put_aligned(v); }
+  void put_long(std::int32_t v) { put_aligned(static_cast<std::uint32_t>(v)); }
+  void put_ulonglong(std::uint64_t v) { put_aligned(v); }
+  void put_longlong(std::int64_t v) {
+    put_aligned(static_cast<std::uint64_t>(v));
+  }
+  void put_float(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    put_aligned(bits);
+  }
+  void put_double(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    put_aligned(bits);
+  }
+
+  /// CDR string: ulong length including NUL, bytes, NUL.
+  void put_string(std::string_view s);
+
+  /// sequence<octet>: ulong count then raw bytes.
+  void put_octet_seq(std::span<const std::uint8_t> bytes);
+  void put_octet_seq(const WireBuf& buf) { put_octet_seq(buf.span()); }
+
+  /// Raw bytes with no count (caller manages framing).
+  void put_raw(std::span<const std::uint8_t> bytes);
+
+  /// A reserved length field, filled in by patch_ulong once the content
+  /// after it has been written.
+  struct Patch {
+    std::size_t pos = 0;
+  };
+  Patch reserve_ulong();
+  void patch_ulong(Patch p, std::uint32_t v) {
+    std::memcpy(base_ + p.pos, &v, 4);
+  }
+
+  /// Opens an encapsulation in place: ulong length (backpatched on end),
+  /// endian flag octet, then content aligned relative to the flag.
+  void begin_encapsulation();
+  void end_encapsulation();
+
+  /// Restarts the alignment origin at the current position. GIOP framing
+  /// uses this: content after the fixed 12-byte header aligns as its own
+  /// stream, exactly as if it were built in a separate encoder.
+  void mark_origin() noexcept { origin_ = len_; }
+
+  /// Seals the frame into an immutable WireBuf; the Writer is finished.
+  WireBuf seal();
+
+ private:
+  template <typename T>
+  void put_aligned(T v) {
+    align(sizeof(T));
+    ensure(sizeof(T));
+    std::memcpy(base_ + len_, &v, sizeof(T));
+    len_ += sizeof(T);
+  }
+
+  void ensure(std::size_t more) {
+    if (len_ + more > cap_) grow(len_ + more);
+  }
+  void grow(std::size_t min_capacity);
+
+  Arena& arena_;
+  std::uint8_t* base_ = nullptr;
+  std::size_t len_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t origin_ = 0;  // alignment origin (current encapsulation start)
+  struct EncapFrame {
+    std::size_t patch_pos = 0;
+    std::size_t prev_origin = 0;
+  };
+  static constexpr std::size_t kMaxEncapDepth = 4;
+  std::array<EncapFrame, kMaxEncapDepth> encaps_{};
+  std::size_t depth_ = 0;
+  bool sealed_ = false;
+};
+
 /// CDR decoder over a borrowed byte span. The decoder does not own the
 /// bytes; callers keep the backing buffer alive for the decoder's lifetime.
+///
+/// View mode: constructed over a WireBuf, the decoder can hand out payloads
+/// that *reference* the frame instead of copying it — get_octet_seq_buf()
+/// returns a WireBuf slice (refcount bump, keeps the frame alive),
+/// get_string_view()/get_view() return borrowed views valid only while the
+/// frame is. This is how decode_data_payload, batch unpacking and Envelope
+/// decode avoid per-hop copies.
 class Decoder {
  public:
   explicit Decoder(std::span<const std::uint8_t> data, bool swap = false)
       : data_(data), swap_(swap) {}
+  /// View mode: borrow `frame`, enabling zero-copy payload slices. The
+  /// WireBuf must outlive the decoder (and plain borrowed views taken from
+  /// it), but slices returned by get_octet_seq_buf own their own reference.
+  explicit Decoder(const WireBuf& frame, bool swap = false)
+      : data_(frame.span()), swap_(swap), src_(&frame) {}
 
   std::size_t position() const noexcept { return pos_; }
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
@@ -143,11 +283,29 @@ class Decoder {
 
   std::string get_string();
   Bytes get_octet_seq();
+  /// sequence<octet> without the copy: a WireBuf referencing the source
+  /// frame (View mode) or an owned copy when decoding a plain span.
+  WireBuf get_octet_seq_buf();
+  /// CDR string as a borrowed view into the frame (no allocation). Valid
+  /// only while the backing buffer is alive.
+  std::string_view get_string_view();
   /// View of n raw bytes; throws on underflow.
   std::span<const std::uint8_t> get_raw(std::size_t n);
+  /// Alias of get_raw for View-mode readers: borrowed payload access.
+  std::span<const std::uint8_t> get_view(std::size_t n) { return get_raw(n); }
+  /// n raw bytes (no count prefix) as a WireBuf: a slice of the source
+  /// frame in View mode, an owned copy otherwise. GIOP bodies use this —
+  /// the body is the unframed tail of the message.
+  WireBuf get_raw_buf(std::size_t n);
+  /// A decoder over the next n bytes with a fresh alignment origin,
+  /// inheriting this decoder's byte order and View mode. Like
+  /// get_encapsulation without the count and endian flag; GIOP uses it for
+  /// the header-relative content stream.
+  Decoder get_subrange(std::size_t n);
 
   /// Reads a sequence<octet> and returns a decoder over its contents with
-  /// the endian flag already consumed and applied.
+  /// the endian flag already consumed and applied. View mode propagates, so
+  /// nested get_octet_seq_buf slices still share the source frame.
   Decoder get_encapsulation();
 
  private:
@@ -179,6 +337,8 @@ class Decoder {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
   bool swap_ = false;
+  const WireBuf* src_ = nullptr;  // View mode: frame the span was taken from
+  std::size_t src_off_ = 0;       // offset of data_[0] within *src_
 };
 
 }  // namespace eternal::cdr

@@ -9,12 +9,15 @@ namespace {
 constexpr std::uint8_t kPing = 1;
 constexpr std::uint8_t kPong = 2;
 
-cdr::Bytes make_msg(std::uint8_t type, sim::NodeId from, std::uint64_t seq) {
-  cdr::Encoder enc;
-  enc.put_octet(type);
-  enc.put_ulong(from);
-  enc.put_ulonglong(seq);
-  return enc.take();
+/// Ping/pong frames are 13 bytes, so the sealed WireBuf is inline storage:
+/// building one touches only the arena's recycled slab bytes.
+cdr::WireBuf make_msg(cdr::Arena& arena, std::uint8_t type, sim::NodeId from,
+                      std::uint64_t seq) {
+  cdr::Writer w(arena, 16);
+  w.put_octet(type);
+  w.put_ulong(from);
+  w.put_ulonglong(seq);
+  return w.seal();
 }
 }  // namespace
 
@@ -96,7 +99,8 @@ void FaultDetector::send_ping(sim::NodeId target) {
   watch.awaiting_seq = watch.next_seq++;
   pings_sent_.inc();
   groups_.send(inbox_name(target),
-               make_msg(kPing, groups_.id(), watch.awaiting_seq));
+               make_msg(groups_.arena(), kPing, groups_.id(),
+                        watch.awaiting_seq));
   watch.timeout_timer = sim_.after(watch.timeout, [this, target] {
     auto wit = watches_.find(target);
     if (wit == watches_.end() || wit->second.awaiting_seq == 0) return;
@@ -122,7 +126,8 @@ void FaultDetector::on_message(const totem::GroupMessage& m) {
   const std::uint64_t seq = dec.get_ulonglong();
 
   if (type == kPing) {
-    groups_.send(inbox_name(from), make_msg(kPong, groups_.id(), seq));
+    groups_.send(inbox_name(from),
+                 make_msg(groups_.arena(), kPong, groups_.id(), seq));
     return;
   }
   if (type == kPong) {

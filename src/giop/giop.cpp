@@ -6,12 +6,11 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
 
-void encode_contexts(cdr::Encoder& enc,
-                     const std::vector<ServiceContext>& ctxs) {
-  enc.put_ulong(static_cast<std::uint32_t>(ctxs.size()));
+void encode_contexts(cdr::Writer& w, const std::vector<ServiceContext>& ctxs) {
+  w.put_ulong(static_cast<std::uint32_t>(ctxs.size()));
   for (const auto& c : ctxs) {
-    enc.put_ulong(c.context_id);
-    enc.put_octet_seq(c.context_data);
+    w.put_ulong(c.context_id);
+    w.put_octet_seq(c.context_data);
   }
 }
 
@@ -23,22 +22,24 @@ std::vector<ServiceContext> decode_contexts(cdr::Decoder& dec) {
   for (std::uint32_t i = 0; i < n; ++i) {
     ServiceContext c;
     c.context_id = dec.get_ulong();
-    c.context_data = dec.get_octet_seq();
+    c.context_data = dec.get_octet_seq_buf();
     ctxs.push_back(std::move(c));
   }
   return ctxs;
 }
 
-Bytes frame(MsgType type, const cdr::Encoder& content) {
-  cdr::Encoder enc;
-  enc.put_raw(std::span<const std::uint8_t>(kMagic, 4));
-  enc.put_octet(1);  // major
-  enc.put_octet(0);  // minor
-  enc.put_octet(cdr::kHostLittleEndian ? 1 : 0);
-  enc.put_octet(static_cast<std::uint8_t>(type));
-  enc.put_ulong(static_cast<std::uint32_t>(content.size()));
-  enc.put_raw(content.data());
-  return enc.take();
+// Writes the 12-byte GIOP header with the message size reserved, and makes
+// the byte after the header the alignment origin for the content stream.
+// The caller patches the returned field with size() - (start + 12).
+cdr::Writer::Patch put_giop_header(cdr::Writer& w, MsgType type) {
+  w.put_raw(std::span<const std::uint8_t>(kMagic, 4));
+  w.put_octet(1);  // major
+  w.put_octet(0);  // minor
+  w.put_octet(cdr::kHostLittleEndian ? 1 : 0);
+  w.put_octet(static_cast<std::uint8_t>(type));
+  const cdr::Writer::Patch size = w.reserve_ulong();
+  w.mark_origin();
+  return size;
 }
 
 }  // namespace
@@ -54,8 +55,8 @@ Bytes FtRequestContext::encode() const {
   return out.take();
 }
 
-FtRequestContext FtRequestContext::decode(const Bytes& data) {
-  cdr::Decoder dec(data);
+FtRequestContext FtRequestContext::decode(const cdr::WireBuf& data) {
+  cdr::Decoder dec(data.span());
   const bool little = dec.get_boolean();
   dec.set_swap(little != cdr::kHostLittleEndian);
   FtRequestContext ctx;
@@ -73,8 +74,8 @@ Bytes FtGroupVersionContext::encode() const {
   return out.take();
 }
 
-FtGroupVersionContext FtGroupVersionContext::decode(const Bytes& data) {
-  cdr::Decoder dec(data);
+FtGroupVersionContext FtGroupVersionContext::decode(const cdr::WireBuf& data) {
+  cdr::Decoder dec(data.span());
   const bool little = dec.get_boolean();
   dec.set_swap(little != cdr::kHostLittleEndian);
   FtGroupVersionContext ctx;
@@ -96,30 +97,64 @@ SystemExceptionBody SystemExceptionBody::decode(cdr::Decoder& dec) {
   return body;
 }
 
-Bytes encode_request(const RequestHeader& hdr, const Bytes& body) {
-  cdr::Encoder enc;
-  encode_contexts(enc, hdr.service_contexts);
-  enc.put_ulong(hdr.request_id);
-  enc.put_boolean(hdr.response_expected);
-  enc.put_octet_seq(hdr.object_key);
-  enc.put_string(hdr.operation);
-  enc.put_octet_seq({});  // requesting principal (GIOP 1.0, always empty)
-  enc.align(8);           // body starts 8-aligned, as GIOP 1.2 requires
-  enc.put_raw(body);
-  return frame(MsgType::Request, enc);
+void encode_request_into(cdr::Writer& w, const RequestHeader& hdr,
+                         std::span<const std::uint8_t> body) {
+  const std::size_t start = w.size();
+  const cdr::Writer::Patch size = put_giop_header(w, MsgType::Request);
+  encode_contexts(w, hdr.service_contexts);
+  w.put_ulong(hdr.request_id);
+  w.put_boolean(hdr.response_expected);
+  w.put_octet_seq(hdr.object_key);
+  w.put_string(hdr.operation);
+  w.put_octet_seq(std::span<const std::uint8_t>{});  // requesting principal (GIOP 1.0, always empty)
+  w.align(8);           // body starts 8-aligned, as GIOP 1.2 requires
+  w.put_raw(body);
+  w.patch_ulong(size, static_cast<std::uint32_t>(w.size() - start - 12));
 }
 
-Bytes encode_reply(const ReplyHeader& hdr, const Bytes& body) {
-  cdr::Encoder enc;
-  encode_contexts(enc, hdr.service_contexts);
-  enc.put_ulong(hdr.request_id);
-  enc.put_ulong(static_cast<std::uint32_t>(hdr.reply_status));
-  enc.align(8);
-  enc.put_raw(body);
-  return frame(MsgType::Reply, enc);
+void encode_request_inline(cdr::Writer& w, std::uint32_t request_id,
+                           bool response_expected, std::string_view object_key,
+                           std::string_view operation,
+                           const FtRequestContext* ft,
+                           std::span<const std::uint8_t> body) {
+  const std::size_t start = w.size();
+  const cdr::Writer::Patch size = put_giop_header(w, MsgType::Request);
+  w.put_ulong(ft ? 1u : 0u);  // service context count
+  if (ft != nullptr) {
+    w.put_ulong(static_cast<std::uint32_t>(ServiceId::FtRequest));
+    // The context data is a CDR encapsulation, written in place instead of
+    // marshaled into a temporary and copied as an octet sequence.
+    w.begin_encapsulation();
+    w.put_string(ft->client_id);
+    w.put_long(ft->retention_id);
+    w.put_ulonglong(ft->expiration_time);
+    w.end_encapsulation();
+  }
+  w.put_ulong(request_id);
+  w.put_boolean(response_expected);
+  w.put_octet_seq(
+      {reinterpret_cast<const std::uint8_t*>(object_key.data()),
+       object_key.size()});
+  w.put_string(operation);
+  w.put_octet_seq(std::span<const std::uint8_t>{});  // requesting principal
+  w.align(8);
+  w.put_raw(body);
+  w.patch_ulong(size, static_cast<std::uint32_t>(w.size() - start - 12));
 }
 
-Message decode(const Bytes& wire) {
+void encode_reply_into(cdr::Writer& w, const ReplyHeader& hdr,
+                       std::span<const std::uint8_t> body) {
+  const std::size_t start = w.size();
+  const cdr::Writer::Patch size = put_giop_header(w, MsgType::Reply);
+  encode_contexts(w, hdr.service_contexts);
+  w.put_ulong(hdr.request_id);
+  w.put_ulong(static_cast<std::uint32_t>(hdr.reply_status));
+  w.align(8);
+  w.put_raw(body);
+  w.patch_ulong(size, static_cast<std::uint32_t>(w.size() - start - 12));
+}
+
+Message decode(const cdr::WireBuf& wire) {
   cdr::Decoder dec(wire);
   auto magic = dec.get_raw(4);
   for (int i = 0; i < 4; ++i) {
@@ -141,9 +176,9 @@ Message decode(const Bytes& wire) {
     throw cdr::MarshalError("GIOP size mismatch");
   }
   // The encoder aligned the message content relative to the byte after the
-  // 12-byte GIOP header, so decode it with its own alignment origin.
-  cdr::Decoder content(dec.get_raw(msg.header.msg_size), dec.swapping());
-  cdr::Decoder& cdec = content;
+  // 12-byte GIOP header, so decode it with its own alignment origin. The
+  // subrange decoder inherits View mode: slices below reference `wire`.
+  cdr::Decoder cdec = dec.get_subrange(msg.header.msg_size);
 
   switch (msg.header.msg_type) {
     case MsgType::Request: {
@@ -151,9 +186,9 @@ Message decode(const Bytes& wire) {
       hdr.service_contexts = decode_contexts(cdec);
       hdr.request_id = cdec.get_ulong();
       hdr.response_expected = cdec.get_boolean();
-      hdr.object_key = cdec.get_octet_seq();
+      hdr.object_key = cdec.get_octet_seq_buf();
       hdr.operation = cdec.get_string();
-      (void)cdec.get_octet_seq();  // principal
+      (void)cdec.get_octet_seq_buf();  // principal
       cdec.align(8);
       msg.request = std::move(hdr);
       break;
@@ -174,11 +209,25 @@ Message decode(const Bytes& wire) {
     default:
       break;  // control messages carry no typed header
   }
-  const std::size_t body_len = cdec.remaining();
-  auto body = cdec.get_raw(body_len);
-  msg.body.assign(body.begin(), body.end());
+  msg.body = cdec.get_raw_buf(cdec.remaining());
   return msg;
 }
+
+Bytes encode_request(const RequestHeader& hdr, const Bytes& body) {
+  cdr::Arena arena;
+  cdr::Writer w(arena, body.size() + 256);
+  encode_request_into(w, hdr, body);
+  return w.seal().to_bytes();
+}
+
+Bytes encode_reply(const ReplyHeader& hdr, const Bytes& body) {
+  cdr::Arena arena;
+  cdr::Writer w(arena, body.size() + 256);
+  encode_reply_into(w, hdr, body);
+  return w.seal().to_bytes();
+}
+
+Message decode(const Bytes& wire) { return decode(cdr::WireBuf(wire)); }
 
 const ServiceContext* find_context(const std::vector<ServiceContext>& ctxs,
                                    ServiceId id) {

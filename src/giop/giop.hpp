@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cdr/cdr.hpp"
@@ -29,7 +31,8 @@ enum class ServiceId : std::uint32_t {
 
 struct ServiceContext {
   std::uint32_t context_id = 0;
-  Bytes context_data;
+  /// Decoded messages hold a slice of the arriving frame (no copy).
+  cdr::WireBuf context_data;
 
   bool operator==(const ServiceContext&) const = default;
 };
@@ -42,7 +45,7 @@ struct FtRequestContext {
   std::uint64_t expiration_time = 0;
 
   Bytes encode() const;
-  static FtRequestContext decode(const Bytes& data);
+  static FtRequestContext decode(const cdr::WireBuf& data);
   bool operator==(const FtRequestContext&) const = default;
 };
 
@@ -53,7 +56,7 @@ struct FtGroupVersionContext {
   std::uint32_t object_group_ref_version = 0;
 
   Bytes encode() const;
-  static FtGroupVersionContext decode(const Bytes& data);
+  static FtGroupVersionContext decode(const cdr::WireBuf& data);
   bool operator==(const FtGroupVersionContext&) const = default;
 };
 
@@ -97,7 +100,10 @@ struct RequestHeader {
   std::vector<ServiceContext> service_contexts;
   std::uint32_t request_id = 0;
   bool response_expected = true;
-  Bytes object_key;       // identifies the target object (group) at the server
+  /// Identifies the target object (group) at the server. Decoded requests
+  /// hold a slice of the arriving frame; keys are short, so built requests
+  /// land in the WireBuf inline storage.
+  cdr::WireBuf object_key;
   std::string operation;  // IDL operation name
 
   bool operator==(const RequestHeader&) const = default;
@@ -116,17 +122,39 @@ struct Message {
   MessageHeader header;
   std::optional<RequestHeader> request;  // set iff header.msg_type == Request
   std::optional<ReplyHeader> reply;      // set iff header.msg_type == Reply
-  Bytes body;                            // CDR-encoded operation args/results
+  /// CDR-encoded operation args/results. Decoded messages hold a slice of
+  /// the arriving frame (no copy).
+  cdr::WireBuf body;
 
   bool operator==(const Message&) const = default;
 };
 
-/// Frame a request into wire bytes (12-byte GIOP header included).
-Bytes encode_request(const RequestHeader& hdr, const Bytes& body);
-/// Frame a reply into wire bytes.
-Bytes encode_reply(const ReplyHeader& hdr, const Bytes& body);
+/// Single-pass framing into an open arena frame: 12-byte GIOP header with
+/// the message size reserved and backpatched, content aligned relative to
+/// the byte after the header (Writer::mark_origin).
+void encode_request_into(cdr::Writer& w, const RequestHeader& hdr,
+                         std::span<const std::uint8_t> body);
+void encode_reply_into(cdr::Writer& w, const ReplyHeader& hdr,
+                       std::span<const std::uint8_t> body);
 
-/// Parse a framed message. Throws cdr::MarshalError on malformed input.
+/// Client hot path: frame a request without materialising a RequestHeader —
+/// object key and operation are written straight from views, and the
+/// FT_REQUEST context (when given) is emitted as an in-place encapsulation.
+/// Byte-identical to encode_request_into over the equivalent header.
+void encode_request_inline(cdr::Writer& w, std::uint32_t request_id,
+                           bool response_expected, std::string_view object_key,
+                           std::string_view operation,
+                           const FtRequestContext* ft,
+                           std::span<const std::uint8_t> body);
+
+/// Parse a framed message; contexts/object key/body reference `wire`
+/// (refcount bump, no copy). Throws cdr::MarshalError on malformed input.
+Message decode(const cdr::WireBuf& wire);
+
+/// Compat shims (tests, cold paths): one-shot arena frames returned as
+/// owned Bytes, and decode of an owned byte vector.
+Bytes encode_request(const RequestHeader& hdr, const Bytes& body);
+Bytes encode_reply(const ReplyHeader& hdr, const Bytes& body);
 Message decode(const Bytes& wire);
 
 /// Convenience: find a service context by id.

@@ -16,8 +16,8 @@ std::shared_ptr<Servant> ObjectAdapter::find(const std::string& key) const {
   return it == servants_.end() ? nullptr : it->second;
 }
 
-cdr::Bytes make_exception_reply(std::uint32_t request_id,
-                                const SystemException& ex) {
+cdr::WireBuf make_exception_reply(cdr::Arena& arena, std::uint32_t request_id,
+                                  const SystemException& ex) {
   giop::ReplyHeader hdr;
   hdr.request_id = request_id;
   hdr.reply_status = giop::ReplyStatus::SystemException;
@@ -27,22 +27,26 @@ cdr::Bytes make_exception_reply(std::uint32_t request_id,
   body.completion_status = static_cast<std::uint32_t>(ex.completed());
   cdr::Encoder enc;
   body.encode(enc);
-  return giop::encode_reply(hdr, enc.data());
+  cdr::Writer w(arena);
+  giop::encode_reply_into(w, hdr, enc.data());
+  return w.seal();
 }
 
-cdr::Bytes make_success_reply(std::uint32_t request_id,
-                              const cdr::Bytes& body) {
+cdr::WireBuf make_success_reply(cdr::Arena& arena, std::uint32_t request_id,
+                                std::span<const std::uint8_t> body) {
   giop::ReplyHeader hdr;
   hdr.request_id = request_id;
   hdr.reply_status = giop::ReplyStatus::NoException;
-  return giop::encode_reply(hdr, body);
+  cdr::Writer w(arena, body.size() + 128);
+  giop::encode_reply_into(w, hdr, body);
+  return w.seal();
 }
 
 cdr::Bytes parse_reply(const giop::Message& msg) {
   if (!msg.reply.has_value()) throw comm_failure();
   switch (msg.reply->reply_status) {
     case giop::ReplyStatus::NoException:
-      return msg.body;
+      return msg.body.to_bytes();
     case giop::ReplyStatus::SystemException: {
       cdr::Decoder dec(msg.body);
       auto body = giop::SystemExceptionBody::decode(dec);
@@ -54,12 +58,14 @@ cdr::Bytes parse_reply(const giop::Message& msg) {
   }
 }
 
-cdr::Bytes ObjectAdapter::handle_request_sync(const cdr::Bytes& request_wire,
-                                              InvokerContext& ctx) const {
+cdr::WireBuf ObjectAdapter::handle_request_sync(cdr::Arena& arena,
+                                                const cdr::WireBuf& request_wire,
+                                                InvokerContext& ctx) const {
   giop::Message msg = giop::decode(request_wire);
   if (!msg.request.has_value()) throw cdr::MarshalError("not a request");
   const auto& req = *msg.request;
-  const std::string key(req.object_key.begin(), req.object_key.end());
+  const std::string key(reinterpret_cast<const char*>(req.object_key.data()),
+                        req.object_key.size());
   try {
     auto servant = find(key);
     if (!servant) throw object_not_exist(key);
@@ -74,13 +80,13 @@ cdr::Bytes ObjectAdapter::handle_request_sync(const cdr::Bytes& request_wire,
     std::exception_ptr failure;
     task.on_complete([&](std::exception_ptr e) { failure = e; });
     if (failure) std::rethrow_exception(failure);
-    return make_success_reply(req.request_id, result.data());
+    return make_success_reply(arena, req.request_id, result.data());
   } catch (const SystemException& ex) {
-    return make_exception_reply(req.request_id, ex);
+    return make_exception_reply(arena, req.request_id, ex);
   } catch (const cdr::MarshalError&) {
     return make_exception_reply(
-        req.request_id, SystemException("IDL:omg.org/CORBA/MARSHAL:1.0", 0,
-                                        Completion::No));
+        arena, req.request_id,
+        SystemException("IDL:omg.org/CORBA/MARSHAL:1.0", 0, Completion::No));
   }
 }
 

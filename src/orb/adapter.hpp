@@ -21,25 +21,28 @@ class ObjectAdapter {
   std::shared_ptr<Servant> find(const std::string& key) const;
   bool empty() const noexcept { return servants_.empty(); }
 
-  /// Fully synchronous request dispatch: decodes the GIOP request, invokes
-  /// the servant, and frames the GIOP reply (NO_EXCEPTION or
-  /// SYSTEM_EXCEPTION). Operations that suspend (nested invocations) cannot
-  /// be served on this path and yield a TRANSIENT system exception — the
-  /// replicated path in rep::Engine handles those.
-  cdr::Bytes handle_request_sync(const cdr::Bytes& request_wire,
-                                 InvokerContext& ctx) const;
+  /// Fully synchronous request dispatch: decodes the GIOP request (header
+  /// and body reference `request_wire`, no copies), invokes the servant, and
+  /// frames the GIOP reply (NO_EXCEPTION or SYSTEM_EXCEPTION) into `arena`.
+  /// Operations that suspend (nested invocations) cannot be served on this
+  /// path and yield a TRANSIENT system exception — the replicated path in
+  /// rep::Engine handles those.
+  cdr::WireBuf handle_request_sync(cdr::Arena& arena,
+                                   const cdr::WireBuf& request_wire,
+                                   InvokerContext& ctx) const;
 
  private:
   std::map<std::string, std::shared_ptr<Servant>> servants_;
 };
 
-/// Builds a SYSTEM_EXCEPTION reply for a request id.
-cdr::Bytes make_exception_reply(std::uint32_t request_id,
-                                const SystemException& ex);
-/// Builds a NO_EXCEPTION reply carrying the result body.
-cdr::Bytes make_success_reply(std::uint32_t request_id,
-                              const cdr::Bytes& body);
-/// Parses a reply: returns the body or throws the carried SystemException.
+/// Builds a SYSTEM_EXCEPTION reply for a request id, framed in `arena`.
+cdr::WireBuf make_exception_reply(cdr::Arena& arena, std::uint32_t request_id,
+                                  const SystemException& ex);
+/// Builds a NO_EXCEPTION reply carrying the result body, framed in `arena`.
+cdr::WireBuf make_success_reply(cdr::Arena& arena, std::uint32_t request_id,
+                                std::span<const std::uint8_t> body);
+/// Parses a reply: returns the body (copied out of the frame at this typed
+/// boundary) or throws the carried SystemException.
 cdr::Bytes parse_reply(const giop::Message& msg);
 
 /// An InvokerContext for unreplicated dispatch: nested invocation is not

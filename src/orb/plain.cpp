@@ -6,21 +6,20 @@ PlainOrb::PlainOrb(sim::Simulation& sim, sim::Network& net, sim::NodeId id)
     : sim_(sim), net_(net), id_(id) {}
 
 void PlainOrb::attach() {
-  net_.set_handler(id_, [this](sim::NodeId from, const sim::Bytes& data) {
+  net_.set_handler(id_, [this](sim::NodeId from, const sim::Frame& data) {
     on_receive(from, data);
   });
 }
 
 Future<cdr::Bytes> PlainOrb::invoke(sim::NodeId server, const std::string& key,
                                     const std::string& op, cdr::Bytes args) {
-  giop::RequestHeader hdr;
-  hdr.request_id = next_request_id_++;
-  hdr.response_expected = true;
-  hdr.object_key = cdr::Bytes(key.begin(), key.end());
-  hdr.operation = op;
+  const std::uint32_t request_id = next_request_id_++;
   Future<cdr::Bytes> fut;
-  pending_.emplace(hdr.request_id, fut);
-  net_.unicast(id_, server, giop::encode_request(hdr, args));
+  pending_.emplace(request_id, fut);
+  cdr::Writer w(arena_, args.size() + 128);
+  giop::encode_request_inline(w, request_id, /*response_expected=*/true, key,
+                              op, /*ft=*/nullptr, args);
+  net_.unicast(id_, server, w.seal());
   return fut;
 }
 
@@ -46,11 +45,11 @@ cdr::Bytes PlainOrb::invoke_blocking(sim::NodeId server, const std::string& key,
   return out;
 }
 
-void PlainOrb::on_receive(sim::NodeId from, const sim::Bytes& data) {
+void PlainOrb::on_receive(sim::NodeId from, const sim::Frame& data) {
   giop::Message msg = giop::decode(data);
   if (msg.header.msg_type == giop::MsgType::Request) {
     PlainContext ctx(sim_.now(), sim_.rng().next());
-    cdr::Bytes reply = adapter_.handle_request_sync(data, ctx);
+    cdr::WireBuf reply = adapter_.handle_request_sync(arena_, data, ctx);
     net_.unicast(id_, from, std::move(reply));
     return;
   }

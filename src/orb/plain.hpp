@@ -40,12 +40,13 @@ class PlainOrb {
                              sim::Time timeout = sim::kSecond);
 
  private:
-  void on_receive(sim::NodeId from, const sim::Bytes& data);
+  void on_receive(sim::NodeId from, const sim::Frame& data);
 
   sim::Simulation& sim_;
   sim::Network& net_;
   sim::NodeId id_;
   ObjectAdapter adapter_;
+  cdr::Arena arena_;  // outbound request/reply frames
   std::uint32_t next_request_id_ = 1;
   std::map<std::uint32_t, Future<cdr::Bytes>> pending_;
 };

@@ -52,20 +52,11 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
   op_id.parent = GlobalSeq{0, static_cast<std::uint64_t>(engine_.id()) + 1};
   op_id.op_seq = next_op_++;
 
-  giop::RequestHeader hdr;
-  hdr.request_id = static_cast<std::uint32_t>(op_id.op_seq);
-  hdr.response_expected = true;
-  // lint:allow(hotpath-alloc: GIOP object key owns its bytes; ROADMAP item 2)
-  hdr.object_key = cdr::Bytes(group.begin(), group.end());
-  hdr.operation = op;
   giop::FtRequestContext ft;
   ft.client_id = reply_group_;
   ft.retention_id = static_cast<std::int32_t>(op_id.op_seq);
   ft.expiration_time =
       engine_.simulation().now() + 60 * sim::kSecond;
-  // lint:allow(hotpath-alloc: one FT service context per request; ROADMAP item 2)
-  hdr.service_contexts.push_back(
-      {static_cast<std::uint32_t>(giop::ServiceId::FtRequest), ft.encode()});
 
   Envelope env;
   env.kind = Kind::Invocation;
@@ -74,7 +65,13 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
   env.reply_group = reply_group_;
   env.source_group = "";
   env.timestamp = engine_.simulation().now();
-  env.giop = giop::encode_request(hdr, args);
+  // Single pass: object key, operation, FT_REQUEST context and body go
+  // straight into an arena frame — no intermediate header or byte vectors.
+  cdr::Writer w(engine_.groups_.arena(), args.size() + 192);
+  giop::encode_request_inline(w, static_cast<std::uint32_t>(op_id.op_seq),
+                              /*response_expected=*/true, group, op, &ft,
+                              args);
+  env.giop = w.seal();
 
   auto& tracer = obs::Tracer::global();
   std::uint64_t client_span = 0;
@@ -97,7 +94,7 @@ Invocation Client::invoke(const std::string& group, const std::string& op,
   Outstanding out;
   out.env = env;
   out.client_span = client_span;
-  // lint:allow(hotpath-alloc: retry state must outlive the call; ROADMAP item 2)
+  // lint:allow(hotpath-alloc: retry state must outlive the call; the envelope's GIOP payload is a refcounted frame slice)
   outstanding_.emplace(op_id, std::move(out));
   retransmit_arm(op_id);
 

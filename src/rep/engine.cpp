@@ -21,6 +21,10 @@ std::vector<NodeId> intersect(const std::vector<NodeId>& a,
                         std::back_inserter(out));
   return out;
 }
+
+/// Parked executions kept per engine; bounds the idle footprint, not the
+/// number of concurrent executions.
+constexpr std::size_t kExecPoolCap = 32;
 }  // namespace
 
 EngineCounters::EngineCounters(obs::Registry& reg, NodeId node)
@@ -101,7 +105,7 @@ struct Engine::Execution {
   OperationId op_id;
   Envelope invocation;   // the envelope that started this execution
   GlobalSeq carrier;     // total-order position of that envelope
-  giop::Message request; // parsed GIOP request (owns the body bytes)
+  giop::Message request; // parsed GIOP request (slices the invocation frame)
   cdr::Encoder out;
   std::unique_ptr<orb::InvokerContext> ctx;
   orb::Task task;
@@ -113,6 +117,20 @@ struct Engine::Execution {
   std::uint64_t exec_begin = 0;  // sim time execution started
 
   explicit Execution(const OperationId& id) : rng(id.hash()) {}
+
+  /// Re-arm a parked execution for a new operation. The heap-backed pieces
+  /// (result encoder, strings, context) keep their allocations; frame
+  /// references were dropped when the execution was released.
+  void reinit(const OperationId& id) {
+    op_id = OperationId{};
+    next_op_seq = 1;
+    rng = util::Xoshiro256(id.hash());
+    read_only = false;
+    op_name.clear();
+    span_id = 0;
+    exec_begin = 0;
+    out.clear();
+  }
 };
 
 /// The servant's window on the world: nested invocations plus sanitized
@@ -129,6 +147,13 @@ class ExecContext final : public orb::InvokerContext {
   orb::Future<cdr::Bytes> invoke(const std::string& target,
                                  const std::string& op,
                                  cdr::Bytes args) override;
+
+  /// Re-aim a pooled context at a new operation. The engine and execution
+  /// references stay valid: pooled Execution objects have stable addresses.
+  void reset(const std::string& group, bool primary_component) {
+    group_ = group;
+    primary_component_ = primary_component;
+  }
 
   std::uint64_t logical_time() const override {
     return exec_.invocation.timestamp;
@@ -420,7 +445,7 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
     }
     return;
   }
-  // lint:allow(hotpath-alloc: dedup set must retain the id; ROADMAP item 2)
+  // lint:allow(hotpath-alloc: dedup set must retain the id — one set node per new operation, reclaimed on reply-log eviction)
   g.known_ops.insert(env.op_id);
 
   if (g.cfg.style == Style::Active) {
@@ -441,13 +466,13 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
   const bool read_only =
       g.replica && g.replica->is_read_only(req.request->operation);
   if (i_am_primary(g)) {
-    // lint:allow(hotpath-alloc: failover log and exec queue must copy; ROADMAP item 2)
+    // lint:allow(hotpath-alloc: failover log retains the envelope; its frame payloads are refcounted slices, not copies)
     if (!read_only) g.invocation_log.push_back({env, carrier, false});
-    // lint:allow(hotpath-alloc: failover log and exec queue must copy; ROADMAP item 2)
+    // lint:allow(hotpath-alloc: exec queue retains the envelope; its frame payloads are refcounted slices, not copies)
     g.exec_queue.emplace_back(env, carrier);
     pump_exec_queue(g);
   } else if (!read_only) {
-    // lint:allow(hotpath-alloc: failover log and exec queue must copy; ROADMAP item 2)
+    // lint:allow(hotpath-alloc: failover log retains the envelope; its frame payloads are refcounted slices, not copies)
     g.invocation_log.push_back({env, carrier, false});
   }
 }
@@ -463,11 +488,34 @@ void Engine::pump_exec_queue(LocalGroup& g) {
   }
 }
 
+std::unique_ptr<Engine::Execution> Engine::acquire_execution(
+    const OperationId& id) {
+  if (exec_pool_.empty()) return std::make_unique<Execution>(id);
+  auto ex = std::move(exec_pool_.back());
+  exec_pool_.pop_back();
+  ex->reinit(id);
+  return ex;
+}
+
+void Engine::release_execution(std::unique_ptr<Execution> ex) {
+  // Drop every frame reference so a parked execution pins no slabs; the
+  // string and vector capacities stay for the next operation.
+  ex->invocation.giop = cdr::WireBuf();
+  ex->invocation.update = cdr::WireBuf();
+  ex->invocation.blob = cdr::WireBuf();
+  if (ex->request.request) {
+    ex->request.request->object_key = cdr::WireBuf();
+    ex->request.request->service_contexts.clear();
+  }
+  ex->request.body = cdr::WireBuf();
+  ex->task = orb::Task{};
+  if (exec_pool_.size() < kExecPoolCap) exec_pool_.push_back(std::move(ex));
+}
+
 void Engine::start_execution(LocalGroup& g, const Envelope& env,
                              const GlobalSeq& carrier) {
   // lint: hotpath — per-operation setup between delivery and user code
-  // lint:allow(hotpath-alloc: execution state is heap-backed until the arena of ROADMAP item 2)
-  auto exec = std::make_unique<Execution>(env.op_id);
+  auto exec = acquire_execution(env.op_id);
   Execution& ex = *exec;
   ex.op_id = env.op_id;
   ex.invocation = env;
@@ -475,18 +523,25 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
   try {
     ex.request = giop::decode(env.giop);
   } catch (const cdr::MarshalError&) {
+    release_execution(std::move(exec));
     if (g.cfg.style != Style::Active) g.executing = false;
     return;
   }
   if (!ex.request.request) {
+    release_execution(std::move(exec));
     if (g.cfg.style != Style::Active) g.executing = false;
     return;
   }
   ex.op_name = ex.request.request->operation;
   ex.read_only = g.replica->is_read_only(ex.op_name);
-  // lint:allow(hotpath-alloc: execution state is heap-backed until the arena of ROADMAP item 2)
-  ex.ctx = std::make_unique<ExecContext>(*this, g.cfg.name, ex,
-                                         g.primary_component);
+  if (!ex.ctx) {
+    // lint:allow(hotpath-alloc: first use of a pooled execution only)
+    ex.ctx = std::make_unique<ExecContext>(*this, g.cfg.name, ex,
+                                           g.primary_component);
+  } else {
+    static_cast<ExecContext*>(ex.ctx.get())
+        ->reset(g.cfg.name, g.primary_component);
+  }
   ex.exec_begin = sim_.now();
   if (tracing()) {
     // The ExecStart span parents everything this execution causes: nested
@@ -495,7 +550,7 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
                            "group=" + g.cfg.name + " op=" + ex.op_name);
   }
 
-  // lint:allow(hotpath-alloc: execution state is heap-backed until the arena of ROADMAP item 2)
+  // lint:allow(hotpath-alloc: ordered-map node per in-flight operation; the execution it holds is pooled)
   g.running.emplace(env.op_id, std::move(exec));
 
   std::exception_ptr dispatch_error;
@@ -522,25 +577,28 @@ void Engine::start_execution(LocalGroup& g, const Envelope& env,
 void Engine::finish_execution(LocalGroup& g, Execution& ex,
                               std::exception_ptr error) {
   const std::uint32_t request_id = ex.request.request->request_id;
-  Bytes reply;
+  cdr::Arena& arena = groups_.arena();
+  cdr::WireBuf reply;
   bool failed = false;
   if (error) {
     failed = true;
     try {
       std::rethrow_exception(error);
     } catch (const orb::SystemException& e) {
-      reply = orb::make_exception_reply(request_id, e);
+      reply = orb::make_exception_reply(arena, request_id, e);
     } catch (const cdr::MarshalError&) {
       reply = orb::make_exception_reply(
-          request_id, orb::SystemException("IDL:omg.org/CORBA/MARSHAL:1.0", 0,
-                                           orb::Completion::Maybe));
+          arena, request_id,
+          orb::SystemException("IDL:omg.org/CORBA/MARSHAL:1.0", 0,
+                               orb::Completion::Maybe));
     } catch (...) {
       reply = orb::make_exception_reply(
-          request_id, orb::SystemException("IDL:omg.org/CORBA/UNKNOWN:1.0", 0,
-                                           orb::Completion::Maybe));
+          arena, request_id,
+          orb::SystemException("IDL:omg.org/CORBA/UNKNOWN:1.0", 0,
+                               orb::Completion::Maybe));
     }
   } else {
-    reply = orb::make_success_reply(request_id, ex.out.data());
+    reply = orb::make_success_reply(arena, request_id, ex.out.data());
   }
 
   counters_.invocations_executed.inc();
@@ -582,7 +640,7 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     up.parent_span = ex.span_id;
     cdr::Encoder update;
     g.replica->get_update(ex.op_name, update);
-    up.update = update.take();
+    up.update = cdr::WireBuf(update.data());
     send_envelope(g.cfg.name, up);
   }
 
@@ -627,7 +685,8 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     }
   }
 
-  g.running.erase(ex.op_id);  // destroys ex
+  auto node = g.running.extract(ex.op_id);  // `ex` parks into the pool
+  if (!node.empty()) release_execution(std::move(node.mapped()));
   if (g.cfg.style != Style::Active) {
     g.executing = false;
     pump_exec_queue(g);
@@ -641,17 +700,10 @@ orb::Future<cdr::Bytes> ExecContext::invoke(const std::string& target,
   nested.parent = exec_.carrier;
   nested.op_seq = exec_.next_op_seq++;
 
-  giop::RequestHeader hdr;
-  hdr.request_id = static_cast<std::uint32_t>(nested.hash());
-  hdr.response_expected = true;
-  hdr.object_key = cdr::Bytes(target.begin(), target.end());
-  hdr.operation = op;
   giop::FtRequestContext ft;
   ft.client_id = group_;
   ft.retention_id = static_cast<std::int32_t>(nested.op_seq);
   ft.expiration_time = exec_.invocation.timestamp;
-  hdr.service_contexts.push_back(
-      {static_cast<std::uint32_t>(giop::ServiceId::FtRequest), ft.encode()});
 
   Envelope env;
   env.kind = Kind::Invocation;
@@ -665,7 +717,11 @@ orb::Future<cdr::Bytes> ExecContext::invoke(const std::string& target,
   // execution span that issued them.
   env.trace_id = exec_.invocation.trace_id;
   env.parent_span = exec_.span_id;
-  env.giop = giop::encode_request(hdr, args);
+  cdr::Writer w(engine_.groups_.arena(), args.size() + 192);
+  giop::encode_request_inline(w, static_cast<std::uint32_t>(nested.hash()),
+                              /*response_expected=*/true, target, op, &ft,
+                              args);
+  env.giop = w.seal();
 
   auto future = engine_.expect_reply(group_, nested);
   std::uint32_t rank = 0;
@@ -765,7 +821,8 @@ void Engine::resend_logged_reply(LocalGroup& g, const Envelope& inv) {
   queue_send(std::move(resp), rank, /*is_response=*/true);
 }
 
-void Engine::log_reply(LocalGroup& g, const OperationId& op, Bytes reply) {
+void Engine::log_reply(LocalGroup& g, const OperationId& op,
+                       cdr::WireBuf reply) {
   if (g.reply_log.emplace(op, std::move(reply)).second) {
     g.reply_log_order.push_back(op);
     while (g.reply_log_order.size() > params_.reply_log_capacity) {
@@ -782,7 +839,10 @@ void Engine::send_envelope(const std::string& totem_group,
   ETERNAL_DEBUG("engine", "node ", id(), " send kind=",
                 static_cast<int>(env.kind), " op=", env.op_id.str(),
                 " totem_group=", totem_group, " target=", env.target_group);
-  groups_.send(totem_group, encode(env), env.trace_id, env.parent_span);
+  cdr::Writer w(groups_.arena(), 192 + env.giop.size() + env.update.size() +
+                                     env.blob.size());
+  encode_envelope_into(w, env);
+  groups_.send(totem_group, w.seal(), env.trace_id, env.parent_span);
 }
 
 // ---------------------------------------------------------------------------
@@ -1145,7 +1205,8 @@ void Engine::serve_snapshot(LocalGroup& g, std::uint32_t joiner,
     env.chunk_count = count;
     const std::size_t lo = static_cast<std::size_t>(i) * chunk;
     const std::size_t hi = std::min(blob.size(), lo + chunk);
-    env.blob.assign(blob.begin() + lo, blob.begin() + hi);
+    env.blob = cdr::WireBuf(
+        std::span<const std::uint8_t>(blob.data() + lo, hi - lo));
     send_envelope(g.cfg.name, env);
   }
 }
@@ -1159,8 +1220,8 @@ void Engine::handle_snapshot(LocalGroup& g, const Envelope& env) {
   if (g.snapshot_chunks.size() < env.chunk_count) return;
 
   Bytes blob;
-  for (auto& [idx, bytes] : g.snapshot_chunks) {
-    blob.insert(blob.end(), bytes.begin(), bytes.end());
+  for (auto& [idx, chunk] : g.snapshot_chunks) {
+    blob.insert(blob.end(), chunk.data(), chunk.data() + chunk.size());
   }
   g.snapshot_chunks.clear();
   apply_checkpoint(g, blob);
@@ -1270,7 +1331,7 @@ Bytes Engine::encode_checkpoint(const LocalGroup& g,
     tier2.put_ulonglong(op.parent.epoch);
     tier2.put_ulonglong(op.parent.seq);
     tier2.put_ulonglong(op.op_seq);
-    tier2.put_octet_seq(it->second);
+    tier2.put_octet_seq(it->second.span());
   }
   tier2.put_ulong(static_cast<std::uint32_t>(g.known_ops.size()));
   for (const OperationId& op : g.known_ops) {
@@ -1326,8 +1387,7 @@ void Engine::apply_checkpoint(LocalGroup& g, const Bytes& blob) {
       op.parent.epoch = d2.get_ulonglong();
       op.parent.seq = d2.get_ulonglong();
       op.op_seq = d2.get_ulonglong();
-      Bytes reply = d2.get_octet_seq();
-      g.reply_log.emplace(op, std::move(reply));
+      g.reply_log.emplace(op, d2.get_octet_seq_buf());
       g.reply_log_order.push_back(op);
     }
     const std::uint32_t known = d2.get_ulong();
@@ -1346,7 +1406,7 @@ void Engine::apply_checkpoint(LocalGroup& g, const Bytes& blob) {
     const std::uint32_t logged = d3.get_ulong();
     for (std::uint32_t i = 0; i < logged; ++i) {
       LoggedInvocation entry;
-      entry.env = decode_envelope(d3.get_octet_seq());
+      entry.env = decode_envelope(cdr::WireBuf(d3.get_octet_seq()));
       entry.carrier.epoch = d3.get_ulonglong();
       entry.carrier.seq = d3.get_ulonglong();
       g.invocation_log.push_back(std::move(entry));

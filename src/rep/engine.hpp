@@ -249,11 +249,12 @@ class Engine {
     std::uint32_t join_round = 0;
     sim::TimerHandle join_retry_timer;
     std::vector<std::pair<Envelope, GlobalSeq>> buffered;  // post-marker
-    std::map<std::uint32_t, Bytes> snapshot_chunks;
+    std::map<std::uint32_t, cdr::WireBuf> snapshot_chunks;
     std::uint32_t snapshot_donor = 0;
 
-    // Tier-2 (ORB) state.
-    std::map<OperationId, Bytes> reply_log;       // op -> GIOP reply
+    // Tier-2 (ORB) state. Logged replies are refcounted frame slices, so
+    // logging and resending never copy the GIOP bytes.
+    std::map<OperationId, cdr::WireBuf> reply_log;  // op -> GIOP reply
     std::deque<OperationId> reply_log_order;      // FIFO eviction
     std::set<OperationId> known_ops;              // executed or in progress
 
@@ -263,7 +264,7 @@ class Engine {
     bool executing = false;
     bool exec_hold = false;  // promotion still applying the update backlog
     sim::TimerHandle exec_hold_timer;
-    std::map<OperationId, Bytes> pending_updates;   // cold: unapplied
+    std::map<OperationId, cdr::WireBuf> pending_updates;  // cold: unapplied
     std::deque<OperationId> pending_update_order;
     /// op -> (operation name, state version) for cold pending updates
     std::map<OperationId, std::pair<std::string, std::uint64_t>>
@@ -328,8 +329,17 @@ class Engine {
   void complete_sync(LocalGroup& g);
   void broadcast_synced_mark(LocalGroup& g);
 
-  void log_reply(LocalGroup& g, const OperationId& op, Bytes reply);
+  void log_reply(LocalGroup& g, const OperationId& op, cdr::WireBuf reply);
   void send_envelope(const std::string& totem_group, const Envelope& env);
+
+  // --- execution pooling ---
+  /// A parked Execution re-armed for `id`, or a fresh one if the pool is
+  /// empty. Steady-state operations recycle the encoder, context and string
+  /// allocations instead of heap-allocating per invocation.
+  std::unique_ptr<Execution> acquire_execution(const OperationId& id);
+  /// Drops the execution's frame references (so it pins no slabs while
+  /// parked) and returns it to the pool.
+  void release_execution(std::unique_ptr<Execution> ex);
 
   // --- observability ---
   /// Mirror an OperationId into the layer-neutral trace key.
@@ -363,6 +373,7 @@ class Engine {
   /// Sender-side suppression: staggered sends cancellable on sibling copy.
   std::map<OperationId, PendingSend> pending_invocation_sends_;
   std::map<OperationId, PendingSend> pending_response_sends_;
+  std::vector<std::unique_ptr<Execution>> exec_pool_;  // parked executions
 
   std::unique_ptr<Client> client_;
   std::function<void(const totem::GroupView&)> view_observer_;

@@ -3,9 +3,9 @@
 namespace eternal::rep {
 
 namespace {
-void put_seq(cdr::Encoder& enc, const GlobalSeq& s) {
-  enc.put_ulonglong(s.epoch);
-  enc.put_ulonglong(s.seq);
+void put_seq(cdr::Writer& w, const GlobalSeq& s) {
+  w.put_ulonglong(s.epoch);
+  w.put_ulonglong(s.seq);
 }
 GlobalSeq get_seq(cdr::Decoder& dec) {
   GlobalSeq s;
@@ -15,39 +15,37 @@ GlobalSeq get_seq(cdr::Decoder& dec) {
 }
 }  // namespace
 
-Bytes encode(const Envelope& env) {
-  cdr::Encoder enc;
-  enc.put_octet(static_cast<std::uint8_t>(env.kind));
-  put_seq(enc, env.op_id.parent);
-  enc.put_ulonglong(env.op_id.op_seq);
-  enc.put_string(env.target_group);
-  enc.put_string(env.reply_group);
-  enc.put_string(env.source_group);
-  enc.put_boolean(env.fulfillment);
-  enc.put_ulonglong(env.timestamp);
-  enc.put_octet_seq(env.giop);
-  enc.put_ulonglong(env.state_version);
-  enc.put_string(env.operation);
-  enc.put_octet_seq(env.update);
-  enc.put_boolean(env.read_only);
-  enc.put_ulong(env.node);
-  enc.put_ulong(env.round);
-  enc.put_boolean(env.has_history);
-  enc.put_ulong(env.chunk_index);
-  enc.put_ulong(env.chunk_count);
-  enc.put_octet_seq(env.blob);
-  enc.put_ulonglong(env.digest);
+void encode_envelope_into(cdr::Writer& w, const Envelope& env) {
+  w.put_octet(static_cast<std::uint8_t>(env.kind));
+  put_seq(w, env.op_id.parent);
+  w.put_ulonglong(env.op_id.op_seq);
+  w.put_string(env.target_group);
+  w.put_string(env.reply_group);
+  w.put_string(env.source_group);
+  w.put_boolean(env.fulfillment);
+  w.put_ulonglong(env.timestamp);
+  w.put_octet_seq(env.giop);
+  w.put_ulonglong(env.state_version);
+  w.put_string(env.operation);
+  w.put_octet_seq(env.update);
+  w.put_boolean(env.read_only);
+  w.put_ulong(env.node);
+  w.put_ulong(env.round);
+  w.put_boolean(env.has_history);
+  w.put_ulong(env.chunk_index);
+  w.put_ulong(env.chunk_count);
+  w.put_octet_seq(env.blob);
+  w.put_ulonglong(env.digest);
   const bool traced = env.trace_id != 0 || env.parent_span != 0;
-  enc.put_boolean(traced);
+  w.put_boolean(traced);
   if (traced) {
-    enc.put_ulonglong(env.trace_id);
-    enc.put_ulonglong(env.parent_span);
+    w.put_ulonglong(env.trace_id);
+    w.put_ulonglong(env.parent_span);
   }
-  return enc.take();
 }
 
-Envelope decode_envelope(const Bytes& wire) {
-  cdr::Decoder dec(wire);
+Envelope decode_envelope(const cdr::WireBuf& frame) {
+  cdr::Decoder dec(frame);
   Envelope env;
   const std::uint8_t kind = dec.get_octet();
   if (kind < 1 || kind > 7) throw cdr::MarshalError("bad envelope kind");
@@ -59,23 +57,31 @@ Envelope decode_envelope(const Bytes& wire) {
   env.source_group = dec.get_string();
   env.fulfillment = dec.get_boolean();
   env.timestamp = dec.get_ulonglong();
-  env.giop = dec.get_octet_seq();
+  env.giop = dec.get_octet_seq_buf();
   env.state_version = dec.get_ulonglong();
   env.operation = dec.get_string();
-  env.update = dec.get_octet_seq();
+  env.update = dec.get_octet_seq_buf();
   env.read_only = dec.get_boolean();
   env.node = dec.get_ulong();
   env.round = dec.get_ulong();
   env.has_history = dec.get_boolean();
   env.chunk_index = dec.get_ulong();
   env.chunk_count = dec.get_ulong();
-  env.blob = dec.get_octet_seq();
+  env.blob = dec.get_octet_seq_buf();
   env.digest = dec.get_ulonglong();
   if (dec.get_boolean()) {
     env.trace_id = dec.get_ulonglong();
     env.parent_span = dec.get_ulonglong();
   }
   return env;
+}
+
+Bytes encode(const Envelope& env) {
+  cdr::Arena arena;
+  cdr::Writer w(arena, env.giop.size() + env.update.size() +
+                           env.blob.size() + 256);
+  encode_envelope_into(w, env);
+  return w.seal().to_bytes();
 }
 
 }  // namespace eternal::rep

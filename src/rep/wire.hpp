@@ -39,12 +39,15 @@ struct Envelope {
   bool fulfillment = false;   // replay of a secondary-component operation
   std::uint64_t timestamp = 0;  // sanitized time base for the operation
 
-  Bytes giop;  // GIOP Request (Invocation) or GIOP Reply (Response)
+  /// GIOP Request (Invocation) or GIOP Reply (Response). Decoded envelopes
+  /// hold a slice of the arriving frame (no copy); built envelopes hold the
+  /// sealed GIOP frame from the sender's arena.
+  cdr::WireBuf giop;
 
   // StateUpdate
   std::uint64_t state_version = 0;
   std::string operation;  // operation that produced the update (diagnostics)
-  Bytes update;           // postimage bytes (replica-defined encoding)
+  cdr::WireBuf update;    // postimage bytes (replica-defined encoding)
   bool read_only = false;
 
   // JoinRequest / Snapshot / SyncedMark
@@ -57,7 +60,7 @@ struct Envelope {
   bool has_history = false;
   std::uint32_t chunk_index = 0;
   std::uint32_t chunk_count = 0;
-  Bytes blob;                    // snapshot chunk payload
+  cdr::WireBuf blob;             // snapshot chunk payload
 
   // StateDigest (divergence oracle; `node` above names the digesting
   // replica and `state_version`/`operation` the checked boundary)
@@ -73,7 +76,13 @@ struct Envelope {
   obs::TraceContext ctx() const noexcept { return {trace_id, parent_span}; }
 };
 
+/// Hot-path codec: encode into an open arena frame / decode an arriving
+/// frame with giop/update/blob as zero-copy slices of it.
+void encode_envelope_into(cdr::Writer& w, const Envelope& env);
+Envelope decode_envelope(const cdr::WireBuf& frame);
+
+/// Compat shim (tests, checkpoint tier-3 entries): the one Bytes round trip
+/// left on this surface. Delegates to the codecs above.
 Bytes encode(const Envelope& env);
-Envelope decode_envelope(const Bytes& wire);
 
 }  // namespace eternal::rep

@@ -1,7 +1,7 @@
 #include "sim/network.hpp"
 
-#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace eternal::sim {
 
@@ -27,7 +27,7 @@ Time Network::transit_time(std::size_t bytes) {
   return t;
 }
 
-void Network::deliver(NodeId from, NodeId to, const Bytes& data) {
+void Network::deliver(NodeId from, NodeId to, const Frame& data) {
   if (!up_[from]) return;
   if (!reachable(from, to)) {
     ++stats_.datagrams_partitioned;
@@ -38,10 +38,10 @@ void Network::deliver(NodeId from, NodeId to, const Bytes& data) {
     ++stats_.datagrams_lost;
     return;
   }
-  // Copy the payload into a shared buffer per receiver; the handler runs at
-  // delivery time, potentially after the sender's buffer is gone.
-  auto payload = std::make_shared<Bytes>(data);
-  sim_.after(transit_time(data.size()), [this, from, to, payload] {
+  // Capture the frame in the delivery closure: a slab refcount bump (or a
+  // 256-byte inline copy) keeps the bytes alive until the handler runs,
+  // potentially after the sender's arena has moved on.
+  sim_.after(transit_time(data.size()), [this, from, to, payload = data] {
     // Partition/crash state is re-checked at delivery: messages in flight
     // when a partition forms or the receiver dies are lost, as on a real LAN.
     if (!up_[to] || !reachable(from, to)) {
@@ -50,12 +50,12 @@ void Network::deliver(NodeId from, NodeId to, const Bytes& data) {
     }
     if (handlers_[to]) {
       ++stats_.datagrams_delivered;
-      handlers_[to](from, *payload);
+      handlers_[to](from, payload);
     }
   });
 }
 
-void Network::unicast(NodeId from, NodeId to, Bytes data) {
+void Network::unicast(NodeId from, NodeId to, Frame data) {
   if (from >= handlers_.size() || to >= handlers_.size()) {
     throw std::out_of_range("Network::unicast node id");
   }
@@ -65,7 +65,7 @@ void Network::unicast(NodeId from, NodeId to, Bytes data) {
   deliver(from, to, data);
 }
 
-void Network::multicast(NodeId from, Bytes data) {
+void Network::multicast(NodeId from, Frame data) {
   if (from >= handlers_.size()) {
     throw std::out_of_range("Network::multicast node id");
   }

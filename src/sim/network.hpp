@@ -13,12 +13,17 @@
 #include <functional>
 #include <vector>
 
+#include "cdr/arena.hpp"
 #include "sim/simulation.hpp"
 
 namespace eternal::sim {
 
 using NodeId = std::uint32_t;
 using Bytes = std::vector<std::uint8_t>;
+/// Datagram payload: an immutable arena-backed frame. Capturing one in the
+/// in-flight delivery closure bumps a slab refcount (or copies <=256 inline
+/// bytes) instead of copying the payload per receiver.
+using Frame = cdr::WireBuf;
 
 struct NetParams {
   Time base_latency = 100;      // one-way, microseconds
@@ -41,7 +46,7 @@ struct NetStats {
 
 class Network {
  public:
-  using Handler = std::function<void(NodeId from, const Bytes& data)>;
+  using Handler = std::function<void(NodeId from, const Frame& data)>;
 
   Network(Simulation& sim, std::size_t node_count, NetParams params = {});
 
@@ -55,11 +60,11 @@ class Network {
   void set_handler(NodeId node, Handler handler);
 
   /// Point-to-point datagram (the unreplicated IIOP baseline path).
-  void unicast(NodeId from, NodeId to, Bytes data);
+  void unicast(NodeId from, NodeId to, Frame data);
 
   /// LAN multicast: delivered independently to every node reachable from
   /// the sender (including loss decided per receiver), excluding the sender.
-  void multicast(NodeId from, Bytes data);
+  void multicast(NodeId from, Frame data);
 
   // --- fault injection -----------------------------------------------------
   void crash(NodeId node);
@@ -80,7 +85,7 @@ class Network {
   void reset_stats() noexcept { stats_ = NetStats{}; }
 
  private:
-  void deliver(NodeId from, NodeId to, const Bytes& data);
+  void deliver(NodeId from, NodeId to, const Frame& data);
   Time transit_time(std::size_t bytes);
 
   Simulation& sim_;

@@ -15,7 +15,7 @@ Fabric::Fabric(sim::Simulation& sim, sim::Network& net, Params params)
     groups_.push_back(std::make_unique<GroupLayer>(*nodes_.back()));
     net_.set_handler(static_cast<NodeId>(i),
                      [node = nodes_.back().get()](NodeId from,
-                                                  const sim::Bytes& data) {
+                                                  const sim::Frame& data) {
                        node->on_receive(from, data);
                      });
   }

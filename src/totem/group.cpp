@@ -21,7 +21,7 @@ void GroupLayer::leave(const std::string& group) {
   announce();
 }
 
-void GroupLayer::send(const std::string& group, Bytes payload,
+void GroupLayer::send(const std::string& group, cdr::WireBuf payload,
                       std::uint64_t trace_id, std::uint64_t parent_span) {
   node_.broadcast(group, std::move(payload), /*control=*/false, trace_id,
                   parent_span);
@@ -46,13 +46,13 @@ std::vector<NodeId> GroupLayer::members_of(const std::string& group) const {
 void GroupLayer::announce() {
   // Announcements carry the full group list, so they are idempotent and a
   // re-announcement after a view change fully reconstructs remote state.
-  cdr::Encoder enc;
-  enc.put_ulong(static_cast<std::uint32_t>(my_groups_.size()));
-  for (const auto& g : my_groups_) enc.put_string(g);
-  node_.broadcast(kAnnounceGroup, enc.take(), /*control=*/true);
+  cdr::Writer w(node_.arena());
+  w.put_ulong(static_cast<std::uint32_t>(my_groups_.size()));
+  for (const auto& g : my_groups_) w.put_string(g);
+  node_.broadcast(kAnnounceGroup, w.seal(), /*control=*/true);
 }
 
-void GroupLayer::handle_announce(NodeId origin, const Bytes& payload) {
+void GroupLayer::handle_announce(NodeId origin, const cdr::WireBuf& payload) {
   cdr::Decoder dec(payload);
   const std::uint32_t n = dec.get_ulong();
   if (n > 65536) throw cdr::MarshalError("implausible group count");

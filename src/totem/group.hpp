@@ -19,14 +19,15 @@
 
 namespace eternal::totem {
 
-/// An application message delivered to a group, in total order.
+/// An application message delivered to a group, in total order. The payload
+/// is a refcounted slice of the frame it was ordered in.
 struct GroupMessage {
   std::string group;
   NodeId sender = 0;
   RingId ring;            // configuration the message was ordered in
   std::uint64_t seq = 0;  // position within that configuration
   bool transitional = false;
-  Bytes payload;
+  cdr::WireBuf payload;
 };
 
 /// A change in the membership of one group.
@@ -69,8 +70,11 @@ class GroupLayer {
   /// the sender's own subscriber sees the message too (self-delivery). A
   /// non-zero trace id rides on the frame so the ordering layer can emit
   /// token-visit spans in the payload's causal chain.
-  void send(const std::string& group, Bytes payload,
+  void send(const std::string& group, cdr::WireBuf payload,
             std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
+
+  /// Arena senders build payload frames in (forwarded from the node).
+  cdr::Arena& arena() noexcept { return node_.arena(); }
 
   /// Local delivery of messages addressed to a group. One subscriber per
   /// group per node; the replication engine multiplexes above this.
@@ -97,7 +101,7 @@ class GroupLayer {
  private:
   void on_deliver(Delivered&& d);
   void on_view(const ViewEvent& v);
-  void handle_announce(NodeId origin, const Bytes& payload);
+  void handle_announce(NodeId origin, const cdr::WireBuf& payload);
   void announce();
   void recompute_and_fire();
   std::map<std::string, std::vector<NodeId>> compute_memberships() const;

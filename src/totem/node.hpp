@@ -72,7 +72,9 @@ struct Params {
   std::uint32_t max_pending = 4096;
 };
 
-/// A message handed up to the layer above, in total order.
+/// A message handed up to the layer above, in total order. The payload is a
+/// refcounted slice of the frame it arrived in (or of the sender's sealed
+/// frame for self-delivery) — handing it up bumps a refcount, never copies.
 struct Delivered {
   RingId ring;
   std::uint64_t seq = 0;
@@ -80,7 +82,7 @@ struct Delivered {
   bool control = false;       // group-layer control traffic
   bool transitional = false;  // delivered in a transitional configuration
   std::string group;
-  Bytes payload;
+  cdr::WireBuf payload;
 };
 
 struct ViewEvent {
@@ -122,8 +124,9 @@ struct NodeCounters {
 class Node {
  public:
   /// Delivery passes the event by rvalue: the consumer may move the payload
-  /// out (the group layer does), so a message body is copied exactly once
-  /// on its way up — out of the retransmission store.
+  /// out (the group layer does). Payloads are refcounted frame slices, so
+  /// even the non-movable path (retransmission store keeps its entry) hands
+  /// up a reference, not a copy of the bytes.
   using DeliverFn = std::function<void(Delivered&&)>;
   using ViewFn = std::function<void(const ViewEvent&)>;
 
@@ -152,8 +155,12 @@ class Node {
   /// Sent when this node next holds the token; queued across view changes.
   /// A non-zero trace id attaches the payload's causal trace context to the
   /// frame (kFlagTraced), so the token-visit send emits a span in that chain.
-  void broadcast(std::string group, Bytes payload, bool control = false,
+  void broadcast(std::string group, cdr::WireBuf payload, bool control = false,
                  std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
+
+  /// The node's wire arena: senders build payloads here (one Writer at a
+  /// time), and every outbound packet is framed from it.
+  cdr::Arena& arena() noexcept { return arena_; }
 
   bool running() const noexcept { return state_ != State::Down; }
   bool operational() const noexcept { return state_ == State::Operational; }
@@ -171,7 +178,7 @@ class Node {
   }
 
   /// Entry point wired to the network handler.
-  void on_receive(NodeId from, const Bytes& wire);
+  void on_receive(NodeId from, const sim::Frame& wire);
 
  private:
   enum class State { Down, Gather, Commit, Recovery, Operational };
@@ -211,6 +218,7 @@ class Node {
 
   // --- token machinery ---
   void forward_token(TokenMsg t);
+  void resend_token();
   void arm_token_loss();
   void cancel_token_timers();
   sim::Time token_loss_timeout() const;
@@ -234,6 +242,12 @@ class Node {
   sim::Network& net_;
   const NodeId id_;
   Params params_;
+
+  /// Arena every outbound frame is encoded into; received packets decode
+  /// into the scratch Packet, whose vectors keep their capacity across
+  /// frames (the arriving payload bytes themselves are never copied).
+  cdr::Arena arena_;
+  Packet rx_pkt_;
 
   State state_ = State::Down;
   RingState cur_;

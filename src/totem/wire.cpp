@@ -4,9 +4,9 @@ namespace eternal::totem {
 
 namespace {
 
-void put_ring(cdr::Encoder& enc, const RingId& r) {
-  enc.put_ulonglong(r.epoch);
-  enc.put_ulong(r.leader);
+void put_ring(cdr::Writer& w, const RingId& r) {
+  w.put_ulonglong(r.epoch);
+  w.put_ulong(r.leader);
 }
 
 RingId get_ring(cdr::Decoder& dec) {
@@ -16,50 +16,48 @@ RingId get_ring(cdr::Decoder& dec) {
   return r;
 }
 
-void put_nodes(cdr::Encoder& enc, const std::vector<NodeId>& nodes) {
-  enc.put_ulong(static_cast<std::uint32_t>(nodes.size()));
-  for (NodeId n : nodes) enc.put_ulong(n);
+void put_nodes(cdr::Writer& w, const std::vector<NodeId>& nodes) {
+  w.put_ulong(static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId n : nodes) w.put_ulong(n);
 }
 
-std::vector<NodeId> get_nodes(cdr::Decoder& dec) {
+void get_nodes(cdr::Decoder& dec, std::vector<NodeId>& nodes) {
   const std::uint32_t n = dec.get_ulong();
   if (n > 65536) throw cdr::MarshalError("implausible node list");
-  std::vector<NodeId> nodes;
+  nodes.clear();
   nodes.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) nodes.push_back(dec.get_ulong());
-  return nodes;
 }
 
-void put_seqs(cdr::Encoder& enc, const std::vector<std::uint64_t>& seqs) {
-  enc.put_ulong(static_cast<std::uint32_t>(seqs.size()));
-  for (auto s : seqs) enc.put_ulonglong(s);
+void put_seqs(cdr::Writer& w, const std::vector<std::uint64_t>& seqs) {
+  w.put_ulong(static_cast<std::uint32_t>(seqs.size()));
+  for (auto s : seqs) w.put_ulonglong(s);
 }
 
-std::vector<std::uint64_t> get_seqs(cdr::Decoder& dec) {
+void get_seqs(cdr::Decoder& dec, std::vector<std::uint64_t>& seqs) {
   const std::uint32_t n = dec.get_ulong();
   if (n > 1 << 20) throw cdr::MarshalError("implausible seq list");
-  std::vector<std::uint64_t> seqs;
+  seqs.clear();
   seqs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) seqs.push_back(dec.get_ulonglong());
-  return seqs;
 }
 
 // The group tag is the CDR string "g" + group: the leading 'g' keeps the
 // wire string non-empty even for the root group. Encoded field by field so
 // the hot path never builds the concatenated temporary; the byte layout is
 // exactly put_string("g" + group) — ulong(len+2), 'g', name bytes, NUL.
-void put_group_tag(cdr::Encoder& enc, const std::string& group) {
+void put_group_tag(cdr::Writer& w, const std::string& group) {
   if (group.size() + 2 > 0xffffffffULL) {
     throw cdr::MarshalError("group name too long");
   }
-  enc.put_ulong(static_cast<std::uint32_t>(group.size()) + 2);
-  enc.put_octet('g');
-  enc.put_raw({reinterpret_cast<const std::uint8_t*>(group.data()),
-               group.size()});
-  enc.put_octet(0);
+  w.put_ulong(static_cast<std::uint32_t>(group.size()) + 2);
+  w.put_octet('g');
+  w.put_raw({reinterpret_cast<const std::uint8_t*>(group.data()),
+             group.size()});
+  w.put_octet(0);
 }
 
-std::string get_group_tag(cdr::Decoder& dec) {
+void get_group_tag(cdr::Decoder& dec, std::string& group) {
   const std::uint32_t len = dec.get_ulong();
   if (len < 2 || dec.get_octet() != 'g') {
     throw cdr::MarshalError("bad group tag");
@@ -68,24 +66,7 @@ std::string get_group_tag(cdr::Decoder& dec) {
   if (dec.get_octet() != 0) {
     throw cdr::MarshalError("group tag missing NUL terminator");
   }
-  return std::string(reinterpret_cast<const char*>(name.data()), name.size());
-}
-
-void encode_data_into(cdr::Encoder& enc, const DataMsg& d) {
-  put_ring(enc, d.ring);
-  enc.put_ulonglong(d.seq);
-  enc.put_ulong(d.origin);
-  enc.put_octet(d.flags);
-  put_group_tag(enc, d.group);
-  enc.put_octet_seq(d.payload);
-  if (d.flags & kFlagTraced) {
-    enc.put_ulonglong(d.trace_id);
-    enc.put_ulonglong(d.parent_span);
-  }
-  if (d.flags & kFlagRecovery) {
-    put_ring(enc, d.old_ring);
-    enc.put_ulonglong(d.old_seq);
-  }
+  group.assign(reinterpret_cast<const char*>(name.data()), name.size());
 }
 
 DataMsg decode_data_from(cdr::Decoder& dec) {
@@ -94,8 +75,8 @@ DataMsg decode_data_from(cdr::Decoder& dec) {
   d.seq = dec.get_ulonglong();
   d.origin = dec.get_ulong();
   d.flags = dec.get_octet();
-  d.group = get_group_tag(dec);
-  d.payload = dec.get_octet_seq();
+  get_group_tag(dec, d.group);
+  d.payload = dec.get_octet_seq_buf();
   if (d.flags & kFlagTraced) {
     d.trace_id = dec.get_ulonglong();
     d.parent_span = dec.get_ulonglong();
@@ -107,30 +88,30 @@ DataMsg decode_data_from(cdr::Decoder& dec) {
   return d;
 }
 
-void encode_batch_into(cdr::Encoder& enc, const BatchMsg& b) {
-  put_ring(enc, b.ring);
-  enc.put_ulong(b.origin);
-  enc.put_ulong(static_cast<std::uint32_t>(b.msgs.size()));
+void encode_batch_into(cdr::Writer& w, const BatchMsg& b) {
+  put_ring(w, b.ring);
+  w.put_ulong(b.origin);
+  w.put_ulong(static_cast<std::uint32_t>(b.msgs.size()));
   for (const DataMsg& d : b.msgs) {
     // Ring and origin are the frame's; recovery messages are never batched,
     // so no old-ring coordinates per inner message.
-    enc.put_ulonglong(d.seq);
-    enc.put_octet(d.flags);
-    put_group_tag(enc, d.group);
-    enc.put_octet_seq(d.payload);
+    w.put_ulonglong(d.seq);
+    w.put_octet(d.flags);
+    put_group_tag(w, d.group);
+    w.put_octet_seq(d.payload);
     if (d.flags & kFlagTraced) {
-      enc.put_ulonglong(d.trace_id);
-      enc.put_ulonglong(d.parent_span);
+      w.put_ulonglong(d.trace_id);
+      w.put_ulonglong(d.parent_span);
     }
   }
 }
 
-BatchMsg decode_batch_from(cdr::Decoder& dec) {
-  BatchMsg b;
+void decode_batch_from(cdr::Decoder& dec, BatchMsg& b) {
   b.ring = get_ring(dec);
   b.origin = dec.get_ulong();
   const std::uint32_t n = dec.get_ulong();
   if (n > 65536) throw cdr::MarshalError("implausible batch size");
+  b.msgs.clear();
   b.msgs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     DataMsg d;
@@ -141,88 +122,101 @@ BatchMsg decode_batch_from(cdr::Decoder& dec) {
     if (d.flags & kFlagRecovery) {
       throw cdr::MarshalError("recovery message inside batch");
     }
-    d.group = get_group_tag(dec);
-    d.payload = dec.get_octet_seq();
+    get_group_tag(dec, d.group);
+    d.payload = dec.get_octet_seq_buf();
     if (d.flags & kFlagTraced) {
       d.trace_id = dec.get_ulonglong();
       d.parent_span = dec.get_ulonglong();
     }
     b.msgs.push_back(std::move(d));
   }
-  return b;
 }
 
 }  // namespace
 
-Bytes encode_data(const DataMsg& d) {
-  cdr::Encoder enc;
-  encode_data_into(enc, d);
-  return enc.take();
+void encode_data_into(cdr::Writer& w, const DataMsg& d) {
+  put_ring(w, d.ring);
+  w.put_ulonglong(d.seq);
+  w.put_ulong(d.origin);
+  w.put_octet(d.flags);
+  put_group_tag(w, d.group);
+  w.put_octet_seq(d.payload);
+  if (d.flags & kFlagTraced) {
+    w.put_ulonglong(d.trace_id);
+    w.put_ulonglong(d.parent_span);
+  }
+  if (d.flags & kFlagRecovery) {
+    put_ring(w, d.old_ring);
+    w.put_ulonglong(d.old_seq);
+  }
 }
 
-DataMsg decode_data_payload(const Bytes& wire) {
-  cdr::Decoder dec(wire);
+cdr::WireBuf encode_data(cdr::Arena& arena, const DataMsg& d) {
+  cdr::Writer w(arena, d.payload.size() + 128);
+  encode_data_into(w, d);
+  return w.seal();
+}
+
+DataMsg decode_data_payload(const cdr::WireBuf& payload) {
+  cdr::Decoder dec(payload);
   return decode_data_from(dec);
 }
 
-Bytes encode(const Packet& pkt) {
-  cdr::Encoder enc;
-  enc.put_octet(static_cast<std::uint8_t>(pkt.kind));
+void encode_packet_into(cdr::Writer& w, const Packet& pkt) {
+  w.put_octet(static_cast<std::uint8_t>(pkt.kind));
   switch (pkt.kind) {
     case MsgKind::Data:
-      encode_data_into(enc, pkt.data);
+      encode_data_into(w, pkt.data);
       break;
     case MsgKind::Batch:
-      encode_batch_into(enc, pkt.batch);
+      encode_batch_into(w, pkt.batch);
       break;
     case MsgKind::Token: {
       const TokenMsg& t = pkt.token;
-      put_ring(enc, t.ring);
-      enc.put_ulonglong(t.token_id);
-      enc.put_ulonglong(t.seq);
-      enc.put_ulonglong(t.accum_min);
-      enc.put_ulonglong(t.safe_seq);
-      put_seqs(enc, t.retransmit);
-      enc.put_ulong(t.dest);
+      put_ring(w, t.ring);
+      w.put_ulonglong(t.token_id);
+      w.put_ulonglong(t.seq);
+      w.put_ulonglong(t.accum_min);
+      w.put_ulonglong(t.safe_seq);
+      put_seqs(w, t.retransmit);
+      w.put_ulong(t.dest);
       break;
     }
     case MsgKind::Join: {
       const JoinMsg& j = pkt.join;
-      enc.put_ulong(j.sender);
-      put_nodes(enc, j.candidates);
-      enc.put_ulonglong(j.max_epoch);
+      w.put_ulong(j.sender);
+      put_nodes(w, j.candidates);
+      w.put_ulonglong(j.max_epoch);
       break;
     }
     case MsgKind::Commit: {
       const CommitMsg& c = pkt.commit;
-      put_ring(enc, c.ring);
-      put_nodes(enc, c.members);
-      enc.put_octet(c.pass);
-      enc.put_ulong(static_cast<std::uint32_t>(c.infos.size()));
+      put_ring(w, c.ring);
+      put_nodes(w, c.members);
+      w.put_octet(c.pass);
+      w.put_ulong(static_cast<std::uint32_t>(c.infos.size()));
       for (const auto& info : c.infos) {
-        enc.put_ulong(info.member);
-        enc.put_boolean(info.has_old_ring);
-        put_ring(enc, info.old_ring);
-        enc.put_ulonglong(info.old_aru);
-        enc.put_ulonglong(info.old_high);
+        w.put_ulong(info.member);
+        w.put_boolean(info.has_old_ring);
+        put_ring(w, info.old_ring);
+        w.put_ulonglong(info.old_aru);
+        w.put_ulonglong(info.old_high);
       }
-      enc.put_ulong(c.dest);
+      w.put_ulong(c.dest);
       break;
     }
     case MsgKind::RingAnnounce: {
       const RingAnnounceMsg& a = pkt.announce;
-      enc.put_ulong(a.sender);
-      put_ring(enc, a.ring);
-      put_nodes(enc, a.members);
+      w.put_ulong(a.sender);
+      put_ring(w, a.ring);
+      put_nodes(w, a.members);
       break;
     }
   }
-  return enc.take();
 }
 
-Packet decode_packet(const Bytes& wire) {
-  cdr::Decoder dec(wire);
-  Packet pkt;
+void decode_packet_into(Packet& pkt, const cdr::WireBuf& frame) {
+  cdr::Decoder dec(frame);
   const std::uint8_t kind = dec.get_octet();
   if (kind < 1 || kind > 6) throw cdr::MarshalError("bad totem msg kind");
   pkt.kind = static_cast<MsgKind>(kind);
@@ -231,35 +225,34 @@ Packet decode_packet(const Bytes& wire) {
       pkt.data = decode_data_from(dec);
       break;
     case MsgKind::Batch:
-      pkt.batch = decode_batch_from(dec);
+      decode_batch_from(dec, pkt.batch);
       break;
     case MsgKind::Token: {
-      TokenMsg t;
+      TokenMsg& t = pkt.token;
       t.ring = get_ring(dec);
       t.token_id = dec.get_ulonglong();
       t.seq = dec.get_ulonglong();
       t.accum_min = dec.get_ulonglong();
       t.safe_seq = dec.get_ulonglong();
-      t.retransmit = get_seqs(dec);
+      get_seqs(dec, t.retransmit);
       t.dest = dec.get_ulong();
-      pkt.token = std::move(t);
       break;
     }
     case MsgKind::Join: {
-      JoinMsg j;
+      JoinMsg& j = pkt.join;
       j.sender = dec.get_ulong();
-      j.candidates = get_nodes(dec);
+      get_nodes(dec, j.candidates);
       j.max_epoch = dec.get_ulonglong();
-      pkt.join = std::move(j);
       break;
     }
     case MsgKind::Commit: {
-      CommitMsg c;
+      CommitMsg& c = pkt.commit;
       c.ring = get_ring(dec);
-      c.members = get_nodes(dec);
+      get_nodes(dec, c.members);
       c.pass = dec.get_octet();
       const std::uint32_t n = dec.get_ulong();
       if (n > 65536) throw cdr::MarshalError("implausible commit infos");
+      c.infos.clear();
       for (std::uint32_t i = 0; i < n; ++i) {
         CommitInfo info;
         info.member = dec.get_ulong();
@@ -270,18 +263,28 @@ Packet decode_packet(const Bytes& wire) {
         c.infos.push_back(info);
       }
       c.dest = dec.get_ulong();
-      pkt.commit = std::move(c);
       break;
     }
     case MsgKind::RingAnnounce: {
-      RingAnnounceMsg a;
+      RingAnnounceMsg& a = pkt.announce;
       a.sender = dec.get_ulong();
       a.ring = get_ring(dec);
-      a.members = get_nodes(dec);
-      pkt.announce = std::move(a);
+      get_nodes(dec, a.members);
       break;
     }
   }
+}
+
+Bytes encode(const Packet& pkt) {
+  cdr::Arena arena;
+  cdr::Writer w(arena);
+  encode_packet_into(w, pkt);
+  return w.seal().to_bytes();
+}
+
+Packet decode_packet(const Bytes& wire) {
+  Packet pkt;
+  decode_packet_into(pkt, cdr::WireBuf(wire));
   return pkt;
 }
 

@@ -65,7 +65,10 @@ struct DataMsg {
   NodeId origin = 0;
   std::uint8_t flags = 0;
   std::string group;  // destination process/object group ("" for ring ctrl)
-  Bytes payload;
+  /// Payload bytes. Decoded frames hold a slice of the arriving frame
+  /// (refcounted slab share, no copy); copies of the message — e.g. into
+  /// the retransmission store — bump the refcount instead of duplicating.
+  cdr::WireBuf payload;
 
   // Set when flags & kFlagRecovery: the configuration the inner message was
   // originally ordered in, and its sequence number there.
@@ -145,10 +148,25 @@ struct Packet {
   RingAnnounceMsg announce;
 };
 
+/// Encodes a packet into an open arena frame; the caller seals the Writer
+/// into the WireBuf it hands to the network. This is the hot-path surface:
+/// no intermediate Bytes, no second framing pass.
+void encode_packet_into(cdr::Writer& w, const Packet& pkt);
+
+/// Decodes a frame into `out`, reusing its vectors' and strings' capacity
+/// (nodes keep one scratch Packet, so steady-state decode allocates
+/// nothing). Payloads come back as slices of `frame`.
+void decode_packet_into(Packet& out, const cdr::WireBuf& frame);
+
+/// One Data message encoded standalone (recovery re-broadcast wraps the
+/// original frame as a payload).
+void encode_data_into(cdr::Writer& w, const DataMsg& d);
+cdr::WireBuf encode_data(cdr::Arena& arena, const DataMsg& d);
+DataMsg decode_data_payload(const cdr::WireBuf& payload);
+
+/// Compat shims (tests, cold callers): one Bytes round-trip kept outside
+/// the Writer surface. Both delegate to the *_into codecs above.
 Bytes encode(const Packet& pkt);
 Packet decode_packet(const Bytes& wire);
-
-Bytes encode_data(const DataMsg& d);
-DataMsg decode_data_payload(const Bytes& wire);
 
 }  // namespace eternal::totem

@@ -5,8 +5,9 @@
 namespace eternal::giop {
 namespace {
 
-Bytes key(std::string_view s) {
-  return Bytes(s.begin(), s.end());
+cdr::WireBuf key(std::string_view s) {
+  return cdr::WireBuf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
 }
 
 TEST(Giop, RequestRoundTrip) {
@@ -85,9 +86,11 @@ TEST(Giop, ServiceContextsRoundTrip) {
   hdr.object_key = key("k");
   hdr.operation = "op";
   hdr.service_contexts.push_back(
-      {static_cast<std::uint32_t>(ServiceId::FtRequest), ft.encode()});
+      {static_cast<std::uint32_t>(ServiceId::FtRequest),
+       cdr::WireBuf(ft.encode())});
   hdr.service_contexts.push_back(
-      {static_cast<std::uint32_t>(ServiceId::FtGroupVersion), gv.encode()});
+      {static_cast<std::uint32_t>(ServiceId::FtGroupVersion),
+       cdr::WireBuf(gv.encode())});
 
   Message msg = decode(encode_request(hdr, {}));
   ASSERT_TRUE(msg.request.has_value());

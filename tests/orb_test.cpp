@@ -194,13 +194,14 @@ TEST(PlainContextTest, NestedInvocationUnavailable) {
 // ObjectAdapter + GIOP dispatch
 // ---------------------------------------------------------------------------
 
-cdr::Bytes make_request(const std::string& key, const std::string& op,
-                        const cdr::Bytes& body, std::uint32_t id = 1) {
+cdr::WireBuf make_request(const std::string& key, const std::string& op,
+                          const cdr::Bytes& body, std::uint32_t id = 1) {
   giop::RequestHeader hdr;
   hdr.request_id = id;
-  hdr.object_key = cdr::Bytes(key.begin(), key.end());
+  hdr.object_key = cdr::WireBuf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
   hdr.operation = op;
-  return giop::encode_request(hdr, body);
+  return cdr::WireBuf(giop::encode_request(hdr, body));
 }
 
 TEST(Adapter, DispatchesToActivatedServant) {
@@ -209,9 +210,9 @@ TEST(Adapter, DispatchesToActivatedServant) {
   PlainContext ctx(0, 1);
   cdr::Encoder body;
   body.put_longlong(4);
-  cdr::Bytes reply_wire =
-      adapter.handle_request_sync(make_request("svc", "double", body.data()),
-                                  ctx);
+  cdr::Arena arena;
+  cdr::WireBuf reply_wire = adapter.handle_request_sync(
+      arena, make_request("svc", "double", body.data()), ctx);
   giop::Message reply = giop::decode(reply_wire);
   ASSERT_EQ(reply.reply->reply_status, giop::ReplyStatus::NoException);
   const cdr::Bytes reply_body = parse_reply(reply);
@@ -222,8 +223,9 @@ TEST(Adapter, DispatchesToActivatedServant) {
 TEST(Adapter, UnknownKeyYieldsObjectNotExist) {
   ObjectAdapter adapter;
   PlainContext ctx(0, 1);
-  cdr::Bytes reply_wire =
-      adapter.handle_request_sync(make_request("ghost", "op", {}), ctx);
+  cdr::Arena arena;
+  cdr::WireBuf reply_wire =
+      adapter.handle_request_sync(arena, make_request("ghost", "op", {}), ctx);
   giop::Message reply = giop::decode(reply_wire);
   ASSERT_EQ(reply.reply->reply_status, giop::ReplyStatus::SystemException);
   try {
@@ -239,8 +241,9 @@ TEST(Adapter, MalformedArgsYieldMarshalException) {
   adapter.activate("svc", std::make_shared<TestServant>());
   PlainContext ctx(0, 1);
   // "double" expects a longlong; give it nothing.
-  cdr::Bytes reply_wire =
-      adapter.handle_request_sync(make_request("svc", "double", {}), ctx);
+  cdr::Arena arena;
+  cdr::WireBuf reply_wire = adapter.handle_request_sync(
+      arena, make_request("svc", "double", {}), ctx);
   giop::Message reply = giop::decode(reply_wire);
   EXPECT_EQ(reply.reply->reply_status, giop::ReplyStatus::SystemException);
 }
@@ -259,8 +262,9 @@ TEST(Adapter, RequestIdEchoedInReply) {
   PlainContext ctx(0, 1);
   cdr::Encoder body;
   body.put_longlong(1);
-  cdr::Bytes reply_wire = adapter.handle_request_sync(
-      make_request("svc", "double", body.data(), 777), ctx);
+  cdr::Arena arena;
+  cdr::WireBuf reply_wire = adapter.handle_request_sync(
+      arena, make_request("svc", "double", body.data(), 777), ctx);
   EXPECT_EQ(giop::decode(reply_wire).reply->request_id, 777u);
 }
 

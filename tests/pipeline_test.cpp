@@ -214,7 +214,7 @@ totem::DataMsg data_msg(std::uint64_t seq, const std::string& group,
   d.origin = 2;
   d.seq = seq;
   d.group = group;
-  d.payload = std::move(payload);
+  d.payload = cdr::WireBuf(payload);
   return d;
 }
 
@@ -267,7 +267,7 @@ TEST(BatchWire, TraceContextSurvivesBatchPacking) {
   EXPECT_EQ(out.batch.msgs[1].flags, totem::kFlagTraced);
   EXPECT_EQ(out.batch.msgs[1].trace_id, 0xDEADBEEFu);
   EXPECT_EQ(out.batch.msgs[1].parent_span, 42u);
-  EXPECT_EQ(out.batch.msgs[1].payload, (totem::Bytes{2}));
+  EXPECT_EQ(out.batch.msgs[1].payload, cdr::WireBuf(totem::Bytes{2}));
   EXPECT_EQ(out.batch.msgs[2].trace_id, 0u);
 }
 

@@ -53,13 +53,13 @@ Envelope sample_invocation() {
   env.source_group = "teller";
   env.fulfillment = true;
   env.timestamp = 987654321;
-  env.giop = {1, 2, 3, 4};
+  env.giop = cdr::WireBuf(Bytes{1, 2, 3, 4});
   return env;
 }
 
 TEST(Wire, InvocationRoundTrip) {
   const Envelope env = sample_invocation();
-  const Envelope out = decode_envelope(encode(env));
+  const Envelope out = decode_envelope(cdr::WireBuf(encode(env)));
   EXPECT_EQ(out.kind, Kind::Invocation);
   EXPECT_EQ(out.op_id, env.op_id);
   EXPECT_EQ(out.target_group, env.target_group);
@@ -78,12 +78,12 @@ TEST(Wire, StateUpdateRoundTrip) {
   env.source_group = "kv";
   env.state_version = 41;
   env.operation = "put";
-  env.update = {9, 9, 9};
-  const Envelope out = decode_envelope(encode(env));
+  env.update = cdr::WireBuf(Bytes{9, 9, 9});
+  const Envelope out = decode_envelope(cdr::WireBuf(encode(env)));
   EXPECT_EQ(out.kind, Kind::StateUpdate);
   EXPECT_EQ(out.state_version, 41u);
   EXPECT_EQ(out.operation, "put");
-  EXPECT_EQ(out.update, (Bytes{9, 9, 9}));
+  EXPECT_EQ(out.update, cdr::WireBuf(Bytes{9, 9, 9}));
 }
 
 TEST(Wire, JoinAndSnapshotFieldsRoundTrip) {
@@ -93,7 +93,7 @@ TEST(Wire, JoinAndSnapshotFieldsRoundTrip) {
   env.node = 3;
   env.round = 5;
   env.has_history = true;
-  Envelope out = decode_envelope(encode(env));
+  Envelope out = decode_envelope(cdr::WireBuf(encode(env)));
   EXPECT_EQ(out.kind, Kind::JoinRequest);
   EXPECT_EQ(out.node, 3u);
   EXPECT_EQ(out.round, 5u);
@@ -102,8 +102,8 @@ TEST(Wire, JoinAndSnapshotFieldsRoundTrip) {
   env.kind = Kind::Snapshot;
   env.chunk_index = 2;
   env.chunk_count = 7;
-  env.blob = Bytes(100, 0xAA);
-  out = decode_envelope(encode(env));
+  env.blob = cdr::WireBuf(Bytes(100, 0xAA));
+  out = decode_envelope(cdr::WireBuf(encode(env)));
   EXPECT_EQ(out.kind, Kind::Snapshot);
   EXPECT_EQ(out.chunk_index, 2u);
   EXPECT_EQ(out.chunk_count, 7u);
@@ -114,7 +114,7 @@ TEST(Wire, TraceContextRoundTripsWhenPresent) {
   Envelope env = sample_invocation();
   env.trace_id = 0xFEEDFACE12345678ull;
   env.parent_span = 99;
-  const Envelope out = decode_envelope(encode(env));
+  const Envelope out = decode_envelope(cdr::WireBuf(encode(env)));
   EXPECT_EQ(out.trace_id, env.trace_id);
   EXPECT_EQ(out.parent_span, env.parent_span);
   EXPECT_EQ(out.ctx(), env.ctx());
@@ -124,7 +124,7 @@ TEST(Wire, UntracedEnvelopePaysOneFlagByte) {
   const Envelope plain = sample_invocation();
   Envelope traced = sample_invocation();
   traced.trace_id = 1;
-  const Envelope out = decode_envelope(encode(plain));
+  const Envelope out = decode_envelope(cdr::WireBuf(encode(plain)));
   EXPECT_EQ(out.trace_id, 0u);
   EXPECT_EQ(out.parent_span, 0u);
   EXPECT_FALSE(out.ctx().traced());
@@ -136,13 +136,13 @@ TEST(Wire, UntracedEnvelopePaysOneFlagByte) {
 TEST(Wire, BadKindThrows) {
   Bytes wire = encode(sample_invocation());
   wire[0] = 99;
-  EXPECT_THROW(decode_envelope(wire), cdr::MarshalError);
+  EXPECT_THROW(decode_envelope(cdr::WireBuf(wire)), cdr::MarshalError);
 }
 
 TEST(Wire, TruncatedThrows) {
   Bytes wire = encode(sample_invocation());
   wire.resize(wire.size() / 2);
-  EXPECT_THROW(decode_envelope(wire), cdr::MarshalError);
+  EXPECT_THROW(decode_envelope(cdr::WireBuf(wire)), cdr::MarshalError);
 }
 
 // ---------------------------------------------------------------------------

@@ -102,6 +102,11 @@ TEST(Simulation, DeterministicReplay) {
   EXPECT_NE(run(5), run(6));
 }
 
+/// Builds a Frame from literal bytes (Frame is an immutable WireBuf now).
+Frame frame(std::initializer_list<std::uint8_t> b) {
+  return Frame(Bytes(b));
+}
+
 struct NetFixture : ::testing::Test {
   Simulation sim{1};
   NetParams params{};
@@ -110,15 +115,15 @@ struct NetFixture : ::testing::Test {
 
   void SetUp() override {
     for (NodeId i = 0; i < 4; ++i) {
-      net.set_handler(i, [this, i](NodeId from, const Bytes& data) {
-        inbox[i].push_back({from, data});
+      net.set_handler(i, [this, i](NodeId from, const Frame& data) {
+        inbox[i].push_back({from, data.to_bytes()});
       });
     }
   }
 };
 
 TEST_F(NetFixture, UnicastDelivers) {
-  net.unicast(0, 1, {1, 2, 3});
+  net.unicast(0, 1, frame({1, 2, 3}));
   sim.run();
   ASSERT_EQ(inbox[1].size(), 1u);
   EXPECT_EQ(inbox[1][0].first, 0u);
@@ -127,14 +132,14 @@ TEST_F(NetFixture, UnicastDelivers) {
 }
 
 TEST_F(NetFixture, UnicastHasLatency) {
-  net.unicast(0, 1, {1});
+  net.unicast(0, 1, frame({1}));
   EXPECT_TRUE(inbox[1].empty());  // not delivered synchronously
   sim.run();
   EXPECT_GE(sim.now(), params.base_latency);
 }
 
 TEST_F(NetFixture, MulticastExcludesSender) {
-  net.multicast(0, {9});
+  net.multicast(0, frame({9}));
   sim.run();
   EXPECT_TRUE(inbox[0].empty());
   EXPECT_EQ(inbox[1].size(), 1u);
@@ -144,8 +149,8 @@ TEST_F(NetFixture, MulticastExcludesSender) {
 
 TEST_F(NetFixture, CrashedNodeNeitherSendsNorReceives) {
   net.crash(2);
-  net.multicast(0, {1});
-  net.unicast(2, 1, {2});
+  net.multicast(0, frame({1}));
+  net.unicast(2, 1, frame({2}));
   sim.run();
   EXPECT_TRUE(inbox[2].empty());
   ASSERT_EQ(inbox[1].size(), 1u);  // only node 0's multicast
@@ -155,14 +160,14 @@ TEST_F(NetFixture, CrashedNodeNeitherSendsNorReceives) {
 TEST_F(NetFixture, RecoverRestoresDelivery) {
   net.crash(2);
   net.recover(2);
-  net.unicast(0, 2, {5});
+  net.unicast(0, 2, frame({5}));
   sim.run();
   EXPECT_EQ(inbox[2].size(), 1u);
 }
 
 TEST_F(NetFixture, PartitionBlocksAcrossComponents) {
   net.set_partitions({{0, 1}, {2, 3}});
-  net.multicast(0, {7});
+  net.multicast(0, frame({7}));
   sim.run();
   EXPECT_EQ(inbox[1].size(), 1u);
   EXPECT_TRUE(inbox[2].empty());
@@ -174,13 +179,13 @@ TEST_F(NetFixture, PartitionBlocksAcrossComponents) {
 TEST_F(NetFixture, HealRestoresConnectivity) {
   net.set_partitions({{0, 1}, {2, 3}});
   net.heal_partitions();
-  net.multicast(0, {7});
+  net.multicast(0, frame({7}));
   sim.run();
   EXPECT_EQ(inbox[2].size(), 1u);
 }
 
 TEST_F(NetFixture, MessagesInFlightAcrossPartitionAreDropped) {
-  net.unicast(0, 2, {1});
+  net.unicast(0, 2, frame({1}));
   net.set_partitions({{0, 1}, {2, 3}});  // partition forms before delivery
   sim.run();
   EXPECT_TRUE(inbox[2].empty());
@@ -191,7 +196,7 @@ TEST_F(NetFixture, LossDropsApproximatelyAtRate) {
   NetParams lossy;
   lossy.loss_probability = 0.5;
   net.set_params(lossy);
-  for (int i = 0; i < 1000; ++i) net.unicast(0, 1, {1});
+  for (int i = 0; i < 1000; ++i) net.unicast(0, 1, frame({1}));
   sim.run();
   EXPECT_GT(inbox[1].size(), 350u);
   EXPECT_LT(inbox[1].size(), 650u);
@@ -203,14 +208,14 @@ TEST_F(NetFixture, BandwidthAddsSizeCost) {
   slow.jitter = 0;
   slow.bytes_per_us = 1.0;  // 1 byte per microsecond
   net.set_params(slow);
-  net.unicast(0, 1, Bytes(1000, 0));
+  net.unicast(0, 1, Frame(Bytes(1000, 0)));
   sim.run();
   EXPECT_EQ(sim.now(), slow.base_latency + 1000);
 }
 
 TEST_F(NetFixture, StatsCountTraffic) {
-  net.unicast(0, 1, {1, 2});
-  net.multicast(1, {3});
+  net.unicast(0, 1, frame({1, 2}));
+  net.multicast(1, frame({3}));
   sim.run();
   EXPECT_EQ(net.stats().unicasts_sent, 1u);
   EXPECT_EQ(net.stats().multicasts_sent, 1u);

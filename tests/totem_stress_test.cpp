@@ -16,15 +16,19 @@ using sim::kMillisecond;
 using sim::kSecond;
 using sim::NodeId;
 
-Bytes bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+cdr::WireBuf bytes(std::string_view s) {
+  return cdr::WireBuf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
 
 struct Cluster {
   explicit Cluster(std::size_t n, std::uint64_t seed = 1, Params params = {})
       : sim(seed), net(sim, n), fabric(sim, net, params) {
     for (NodeId i = 0; i < n; ++i) {
       fabric.group(i).subscribe("g", [this, i](const GroupMessage& m) {
-        delivered[i].push_back(std::string(m.payload.begin(),
-                                           m.payload.end()));
+        delivered[i].push_back(
+            std::string(reinterpret_cast<const char*>(m.payload.data()),
+                        m.payload.size()));
       });
     }
     fabric.start_all();

@@ -13,8 +13,13 @@ using sim::NodeId;
 using sim::kMillisecond;
 using sim::kSecond;
 
-Bytes bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
-std::string str(const Bytes& b) { return std::string(b.begin(), b.end()); }
+cdr::WireBuf bytes(std::string_view s) {
+  return cdr::WireBuf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+std::string str(const cdr::WireBuf& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
 
 struct Cluster {
   explicit Cluster(std::size_t n, std::uint64_t seed = 1, Params params = {})

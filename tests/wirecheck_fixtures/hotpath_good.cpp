@@ -9,6 +9,8 @@ void pack(Buf& out, const Span& in) {
   }
   Bytes tmp = std::move(out.data);
   use(tmp);
+  cdr::Writer w(out.arena(), 64);
+  out.frames.push_back(w.seal());
   // lint: endpath
   out.trace.push_back(1);
 }

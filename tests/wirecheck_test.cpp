@@ -274,8 +274,24 @@ TEST(HotpathFixtures, BadRegionFlagsEachAllocationShape) {
       {5, "hotpath-alloc"}, {6, "hotpath-alloc"}, {7, "hotpath-alloc"}};
   EXPECT_EQ(lines_and_rules(findings), expected);
   ASSERT_FALSE(findings.empty());
-  EXPECT_NE(findings[0].message.find("ROADMAP item 2"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("frame arena"), std::string::npos);
   EXPECT_EQ(stats.regions, 1u);
+}
+
+TEST(HotpathAnalyzer, ArenaWriterGrowthIsExempt) {
+  // Growth routed through the frame arena is sanctioned without an allow:
+  // Writer declarations, arena() handles, and seal() calls never fire, even
+  // on lines that also match an allocation pattern.
+  const std::string src =
+      "void f(Ctx& c) {\n"
+      "  // lint: hotpath\n"
+      "  cdr::Writer w(c.arena(), 64);\n"
+      "  c.frames.push_back(w.seal());\n"
+      "  c.log.push_back(1);\n"
+      "}\n";
+  const auto findings = hotpath::analyze_source("t.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);
 }
 
 TEST(HotpathFixtures, CleanRegionAndEndpath) {

@@ -1,10 +1,9 @@
 // hotpath-alloc — heap-allocation ratchet for annotated hot regions.
 //
-// ROADMAP item 2 (zero-copy hot path: arena-backed wire buffers end to
-// end) needs allocation *discipline* before the refactor lands: the
-// token-visit → deliver path must not quietly grow new heap traffic while
-// the arena work is pending. This analyzer flags allocation-shaped
-// constructs inside regions annotated
+// The zero-copy hot path (arena-backed wire buffers end to end) relies on
+// allocation *discipline*: the token-visit → deliver path must not quietly
+// grow new heap traffic now that frames are built in the arena. This
+// analyzer flags allocation-shaped constructs inside regions annotated
 //
 //     // lint: hotpath [free-text note]
 //
@@ -22,11 +21,16 @@
 //   * copy-constructed std::string / Bytes locals (a `std::move` on the
 //     same line exempts the declaration)
 //
+// Growth routed through the frame arena is sanctioned without an allow:
+// lines declaring a cdr::Writer/Arena, taking an arena() handle, or sealing
+// a frame never fire — a Writer bump-allocates into pooled slabs.
+//
 // Suppression mirrors wirecheck:
-//     // lint:allow(hotpath-alloc: <why this allocation stays for now>)
+//     // lint:allow(hotpath-alloc: <why this allocation is sanctioned>)
 // on (or on the line above) the finding, or `lint:allow-file(...)` for a
-// whole file. Suppressions are expected to cite ROADMAP item 2 — they are
-// the worklist the arena refactor will burn down.
+// whole file. Every surviving suppression must justify itself on its own
+// terms (bounded, loss-only, refcount bump, …) — "the arena will fix it"
+// is no longer a reason.
 #pragma once
 
 #include <cstddef>

@@ -4,8 +4,7 @@
 //
 // Exit status: 0 = clean, 1 = findings, 2 = usage/IO error. Registered as
 // the `hotpath_alloc` ctest over src/: the token-visit → deliver path must
-// not grow new heap traffic while the arena refactor (ROADMAP item 2) is
-// pending.
+// not grow heap traffic behind the arena-backed zero-copy surface.
 #include <cstdio>
 #include <iostream>
 #include <string>

@@ -63,8 +63,15 @@ const std::map<std::string, std::string>& prim_types() {
       {"put_float", "f32"},      {"get_float", "f32"},
       {"put_double", "f64"},     {"get_double", "f64"},
       {"put_string", "str"},     {"get_string", "str"},
+      {"get_string_view", "str"},  // borrowed read of the same layout
       {"put_octet_seq", "bytes"},{"get_octet_seq", "bytes"},
+      {"get_octet_seq_buf", "bytes"},  // zero-copy read of the same layout
       {"put_encapsulation", "encap"}, {"get_encapsulation", "encap"},
+      // Writer's backpatched length field and in-place encapsulation open:
+      // a u32 slot and the endian flag byte. patch_ulong/end_encapsulation
+      // write no new fields and are ignored by the naming rules.
+      {"reserve_ulong", "u32"},
+      {"begin_encapsulation", "u8"},
   };
   return types;
 }
@@ -72,7 +79,8 @@ const std::map<std::string, std::string>& prim_types() {
 // Calls that move bytes without independent field structure.
 const std::set<std::string>& ignored_calls() {
   static const std::set<std::string> ignored = {
-      "put_raw", "get_raw", "put_aligned", "get_aligned"};
+      "put_raw",     "get_raw",      "put_aligned", "get_aligned",
+      "get_view",    "get_raw_buf",  "get_subrange"};
   return ignored;
 }
 
