@@ -1,0 +1,143 @@
+// E13 — Latency vs offered load (open-loop), fault-free vs under chaos.
+//
+// The soak harness's WorkloadGen offers load open-loop: arrivals keep
+// coming at the configured rate whether or not earlier operations have
+// completed, so saturation shows up honestly — as growing tail latency and
+// backpressure sheds — instead of being hidden by a politely throttled
+// closed-loop client. This bench sweeps the offered rate and reports
+// p50/p99/p999 client-observed latency plus goodput for two regimes:
+//
+//   fault-free — no campaign started (pure capacity curve);
+//   faulty     — the same seed's drawn chaos campaign runs mid-window.
+//
+// The saturation knee is the first rate where the fault-free pipeline
+// stops keeping up: goodput falls below 90% of offered, arrivals are shed,
+// or p99 blows past 8x the lightest-load p99. Expected shape: latency is
+// flat until the knee and grows super-linearly beyond it; the faulty curve
+// sits above the fault-free one and its knee arrives earlier.
+#include "harness.hpp"
+#include "soak/runner.hpp"
+
+using namespace eternal;
+using namespace eternal::bench;
+
+namespace {
+
+struct LoadPoint {
+  double rate = 0;       // offered, ops/sec
+  double goodput = 0;    // completed ops/sec over the run window
+  double shed_frac = 0;  // arrivals refused with TRANSIENT backpressure
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
+LoadPoint measure(double rate, bool fault_free, std::uint64_t seed) {
+  soak::SoakConfig cfg;
+  cfg.nodes = 7;
+  cfg.groups = 3;
+  cfg.replicas = 3;
+  cfg.workload.clients = 3;
+  cfg.workload.offered_rate = rate;
+  // The simulated LAN has no bandwidth cap, so the capacity bound is the
+  // client pipeline: 3 clients x 4 outstanding over a ~1.1ms RTT puts the
+  // fault-free knee near 11k ops/s — inside the sweep, not at the end of a
+  // 100k-rate run that takes minutes to simulate.
+  cfg.workload.max_outstanding = 4;
+  cfg.run_time = 2 * sim::kSecond;
+  cfg.chaos.start = 200 * sim::kMillisecond;
+  cfg.chaos.duration = 1400 * sim::kMillisecond;
+  cfg.fault_free = fault_free;
+  cfg.audit = false;  // pure latency sweep: no recorder, no audit
+  soak::SoakRunner runner(cfg);
+  const soak::SoakResult r = runner.run(seed);
+
+  LoadPoint p;
+  p.rate = rate;
+  const double window_s =
+      static_cast<double>(cfg.run_time) / static_cast<double>(sim::kSecond);
+  p.goodput = static_cast<double>(r.workload.completed) / window_s;
+  p.shed_frac = r.workload.issued + r.workload.shed == 0
+                    ? 0.0
+                    : static_cast<double>(r.workload.shed) /
+                          static_cast<double>(r.workload.issued +
+                                              r.workload.shed);
+  if (!r.workload.latency_us.empty()) {
+    p.p50_us = r.workload.latency_us.percentile(50);
+    p.p99_us = r.workload.latency_us.percentile(99);
+    p.p999_us = r.workload.latency_us.percentile(99.9);
+  }
+  return p;
+}
+
+/// First swept rate where the pipeline visibly stops keeping up; 0 = no
+/// knee within the sweep.
+double find_knee(const std::vector<LoadPoint>& curve) {
+  if (curve.empty()) return 0;
+  const double base_p99 = curve.front().p99_us;
+  for (const LoadPoint& p : curve) {
+    if (p.goodput < 0.9 * p.rate || p.shed_frac > 0.01 ||
+        (base_p99 > 0 && p.p99_us > 8 * base_p99)) {
+      return p.rate;
+    }
+  }
+  return 0;
+}
+
+std::string fmt_knee(double knee) {
+  return knee > 0 ? fmt(knee, 0) + " ops/s" : "beyond sweep";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  banner("E13", "latency vs offered load (open-loop, fault-free vs chaos)");
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{200, 12800}
+            : std::vector<double>{100, 200, 400, 800, 1600, 3200, 6400,
+                                  12800};
+  const std::uint64_t seed = 42;
+
+  std::vector<LoadPoint> clean_curve, faulty_curve;
+  Table table({"offered (ops/s)", "regime", "goodput (ops/s)", "shed",
+               "p50 (us)", "p99 (us)", "p999 (us)"});
+  for (double rate : rates) {
+    const LoadPoint clean = measure(rate, /*fault_free=*/true, seed);
+    const LoadPoint faulty = measure(rate, /*fault_free=*/false, seed);
+    clean_curve.push_back(clean);
+    faulty_curve.push_back(faulty);
+    table.row({fmt(rate, 0), "fault-free", fmt(clean.goodput, 0),
+               fmt(100 * clean.shed_frac, 1) + "%", fmt(clean.p50_us, 0),
+               fmt(clean.p99_us, 0), fmt(clean.p999_us, 0)});
+    table.row({fmt(rate, 0), "faulty", fmt(faulty.goodput, 0),
+               fmt(100 * faulty.shed_frac, 1) + "%", fmt(faulty.p50_us, 0),
+               fmt(faulty.p99_us, 0), fmt(faulty.p999_us, 0)});
+  }
+  table.print();
+
+  const double clean_knee = find_knee(clean_curve);
+  const double faulty_knee = find_knee(faulty_curve);
+  std::printf("\nsaturation knee: fault-free %s, faulty %s\n",
+              fmt_knee(clean_knee).c_str(), fmt_knee(faulty_knee).c_str());
+  std::puts("\nshape check: latency flat until the knee, super-linear "
+            "beyond it; the faulty curve sits above fault-free and its "
+            "knee arrives no later.");
+
+  // Persist the whole sweep into BENCH_load.json. The runner wiped the
+  // registry per schedule, so the curves are re-recorded here afterwards.
+  auto& reg = obs::Registry::global();
+  reg.reset();
+  for (const LoadPoint& p : clean_curve) {
+    reg.summary("bench.load.clean.goodput").observe(p.goodput);
+    reg.summary("bench.load.clean.p99_us").observe(p.p99_us);
+  }
+  for (const LoadPoint& p : faulty_curve) {
+    reg.summary("bench.load.faulty.goodput").observe(p.goodput);
+    reg.summary("bench.load.faulty.p99_us").observe(p.p99_us);
+  }
+  reg.summary("bench.load.knee.fault_free_rate").observe(clean_knee);
+  reg.summary("bench.load.knee.faulty_rate").observe(faulty_knee);
+  obs_report("load");
+  return 0;
+}

@@ -78,7 +78,7 @@ void BM_TotemDataRoundTrip(benchmark::State& state) {
   pkt.data.ring = {42, 0};
   pkt.data.seq = 1234;
   pkt.data.origin = 3;
-  pkt.data.group = "inventory";
+  pkt.data.group = totem::group_buf("inventory");
   pkt.data.payload = cdr::WireBuf(cdr::Bytes(512, 0xEF));
   for (auto _ : state) {
     totem::Bytes wire = totem::encode(pkt);

@@ -77,6 +77,10 @@ struct FtCluster {
     obs::Tracer::global().clear();
     obs::Journal::global().clear();
     obs::FlightRecorder::global().clear();
+    // Self-describing dumps: stamp the run seed first, so obsctl audit can
+    // name the schedule behind any violation it reports.
+    obs::Journal::global().emit(0, 0, obs::EventKind::RunMeta,
+                                "seed=" + std::to_string(seed));
     fabric.start_all();
     fabric.run_until_converged(2 * sim::kSecond);
     sim.run_for(300 * sim::kMillisecond);

@@ -25,6 +25,7 @@ const char* to_string(EventKind k) {
     case EventKind::MemberAdded: return "member_added";
     case EventKind::MemberRemoved: return "member_removed";
     case EventKind::DivergenceDetected: return "divergence_detected";
+    case EventKind::RunMeta: return "run_meta";
   }
   return "?";
 }

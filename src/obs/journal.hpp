@@ -37,6 +37,8 @@ enum class EventKind : std::uint8_t {
   MemberAdded,          // ObjectGroupManager::add_member
   MemberRemoved,        // ObjectGroupManager::remove_member
   DivergenceDetected,   // oracle: replica state digests disagreed at an op
+  RunMeta,              // run metadata stamp ("seed=N ..."), emitted once at
+                        // start so dumps are self-describing for obsctl
 };
 
 const char* to_string(EventKind k);

@@ -29,6 +29,8 @@ const char* to_string(SpanEvent e) {
     case SpanEvent::DivergenceDetected: return "divergence_detected";
     case SpanEvent::TokenVisitSend: return "token_visit_send";
     case SpanEvent::FailoverRetry: return "failover_retry";
+    case SpanEvent::ReadSkipped: return "read_skipped";
+    case SpanEvent::ResyncDeferred: return "resync_deferred";
   }
   return "?";
 }

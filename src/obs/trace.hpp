@@ -81,6 +81,8 @@ enum class SpanEvent : std::uint8_t {
   DivergenceDetected,    // divergence oracle: digests disagreed at this op
   TokenVisitSend,        // totem assigned the message a seq on a token visit
   FailoverRetry,         // new primary re-invoked a logged operation
+  ReadSkipped,           // passive backup ignored a read-only delivery
+  ResyncDeferred,        // unsynced replica buffered/ignored a delivery
 };
 
 const char* to_string(SpanEvent e);

@@ -383,9 +383,23 @@ void Engine::route(const Envelope& env, const GlobalSeq& carrier,
       if (g.sync == SyncState::AwaitingSnapshot) {
         // lint:allow(hotpath-alloc: resync buffering only, not steady state)
         g.buffered.emplace_back(env, carrier);
+        // The buffer may be dropped if another view change restarts the
+        // resync; record the deferral so the audit can account for a
+        // delivery this replica never acted on (the client's retransmit
+        // reaches it again once synced).
+        if (tracing()) {
+          trace_ctx(env.op_id, obs::SpanEvent::ResyncDeferred, env.ctx(),
+                    "group=" + g.cfg.name);
+        }
         return;
       }
-      if (g.sync == SyncState::Unsynced) return;  // pre-marker: in snapshot
+      if (g.sync == SyncState::Unsynced) {  // pre-marker: in snapshot
+        if (tracing()) {
+          trace_ctx(env.op_id, obs::SpanEvent::ResyncDeferred, env.ctx(),
+                    "group=" + g.cfg.name);
+        }
+        return;
+      }
       handle_invocation(g, env, carrier);
       return;
     case Kind::StateUpdate:
@@ -445,10 +459,9 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
     }
     return;
   }
-  // lint:allow(hotpath-alloc: dedup set must retain the id — one set node per new operation, reclaimed on reply-log eviction)
-  g.known_ops.insert(env.op_id);
-
   if (g.cfg.style == Style::Active) {
+    // lint:allow(hotpath-alloc: dedup set must retain the id — one set node per new operation, reclaimed on reply-log eviction)
+    g.known_ops.insert(env.op_id);
     start_execution(g, env, carrier);
     return;
   }
@@ -466,14 +479,30 @@ void Engine::handle_invocation(LocalGroup& g, const Envelope& env,
   const bool read_only =
       g.replica && g.replica->is_read_only(req.request->operation);
   if (i_am_primary(g)) {
+    // lint:allow(hotpath-alloc: dedup set must retain the id — one set node per new operation, reclaimed on reply-log eviction)
+    g.known_ops.insert(env.op_id);
     // lint:allow(hotpath-alloc: failover log retains the envelope; its frame payloads are refcounted slices, not copies)
     if (!read_only) g.invocation_log.push_back({env, carrier, false});
     // lint:allow(hotpath-alloc: exec queue retains the envelope; its frame payloads are refcounted slices, not copies)
     g.exec_queue.emplace_back(env, carrier);
     pump_exec_queue(g);
   } else if (!read_only) {
+    // lint:allow(hotpath-alloc: dedup set must retain the id — one set node per new operation, reclaimed on reply-log eviction)
+    g.known_ops.insert(env.op_id);
     // lint:allow(hotpath-alloc: failover log retains the envelope; its frame payloads are refcounted slices, not copies)
     g.invocation_log.push_back({env, carrier, false});
+  } else {
+    // A read-only operation at a backup is deliberately neither logged nor
+    // marked known: there is no state update to ever retire it, and if the
+    // primary dies before executing it the client's retransmit must reach
+    // the next primary as a *fresh* operation — latching it as "in
+    // progress" here would drop every retry forever (a liveness hole the
+    // soak harness found: nobody executes, everybody suppresses). Record
+    // the skip so the audit can account for the delivery.
+    if (tracing()) {
+      trace_ctx(env.op_id, obs::SpanEvent::ReadSkipped, env.ctx(),
+                "group=" + g.cfg.name);
+    }
   }
 }
 
@@ -935,11 +964,38 @@ void Engine::on_group_view(const totem::GroupView& v) {
   }
 
   if (!old_members.empty() && g.members != old_members) {
+    // Majority-of-previous rule with lowest-member tiebreak: did the part
+    // of the old view that continued with us keep the primary component?
+    const auto continued_primary = [&](const std::vector<NodeId>& survivors) {
+      const std::size_t half = old_members.size();
+      if (2 * survivors.size() > half) return true;
+      if (2 * survivors.size() == half) {
+        return std::find(survivors.begin(), survivors.end(),
+                         old_members.front()) != survivors.end();
+      }
+      return false;
+    };
     if (!gained.empty()) {
-      // The group grew: a join, or a partition remerge. Pre-merge synced
-      // knowledge is one-sided (the other component never saw our marks),
-      // so discard it and rebuild from post-merge ordered messages: synced
-      // replicas re-announce their mark, resyncing replicas send joins.
+      // The group grew: a join, or a partition remerge. A mixed transition
+      // (gain + loss in one view change — a flapping partition can re-cut
+      // the ring as it merges) first applies the shrink rule: a replica
+      // whose continuing component lost the majority of its previous view
+      // is secondary no matter what merged in — otherwise both sides of
+      // the new cut keep believing they are primary and neither resyncs.
+      const auto survivors = intersect(g.members, old_members);
+      if (survivors.size() < old_members.size()) {
+        const bool before = g.primary_component;
+        g.primary_component = g.primary_component && continued_primary(survivors);
+        if (before && !g.primary_component) {
+          journal(obs::EventKind::PartitionSecondary, v.group,
+                  "survivors=" + obs::format_members(survivors) +
+                      " of=" + obs::format_members(old_members));
+        }
+      }
+      // Pre-merge synced knowledge is one-sided (the other component never
+      // saw our marks), so discard it and rebuild from post-merge ordered
+      // messages: synced replicas re-announce their mark, resyncing
+      // replicas send joins.
       g.synced_set.clear();
       g.history_set.clear();
       g.member_status.clear();
@@ -957,23 +1013,11 @@ void Engine::on_group_view(const totem::GroupView& v) {
       }
       g.primary_component = true;
     } else {
-      // The group shrank: crash or partition. Majority-of-previous rule
-      // with lowest-member tiebreak determines the (at most one) primary
-      // component.
+      // The group shrank: crash or partition. At most one component
+      // continues as primary.
       const auto survivors = intersect(g.members, old_members);
-      const std::size_t half = old_members.size();
-      bool primary_now;
-      if (2 * survivors.size() > half) {
-        primary_now = true;
-      } else if (2 * survivors.size() == half) {
-        primary_now =
-            std::find(survivors.begin(), survivors.end(),
-                      old_members.front()) != survivors.end();
-      } else {
-        primary_now = false;
-      }
       const bool before = g.primary_component;
-      g.primary_component = g.primary_component && primary_now;
+      g.primary_component = g.primary_component && continued_primary(survivors);
       if (before && !g.primary_component) {
         journal(obs::EventKind::PartitionSecondary, v.group,
                 "survivors=" + obs::format_members(g.members) +
@@ -1089,6 +1133,13 @@ void Engine::maybe_self_promote(LocalGroup& g) {
   // resync from it and replay theirs.
   if (g.sync == SyncState::Synced) return;
   if (g.members.empty()) return;
+  // A replica that knows it sits in a secondary component must not elect
+  // itself: the primary component exists elsewhere, and promoting here
+  // would fork the group's history (a resyncing singleton serving stale
+  // state as "primary"). Merges reset the flag before re-evaluating, so
+  // the no-component-held-primary deadlock this breaker exists for is
+  // still broken post-merge.
+  if (!g.primary_component) return;
   // Wait until every member has declared its post-merge status; the
   // declarations are totally ordered, so all members decide identically.
   for (NodeId m : g.members) {
@@ -1266,6 +1317,7 @@ void Engine::broadcast_synced_mark(LocalGroup& g) {
   mark.kind = Kind::SyncedMark;
   mark.target_group = g.cfg.name;
   mark.node = id();
+  mark.state_version = g.state_version;
   send_envelope(g.cfg.name, mark);
 }
 
@@ -1273,6 +1325,32 @@ void Engine::handle_synced_mark(LocalGroup& g, const Envelope& env) {
   const bool was_primary = i_am_primary(g);
   g.synced_set.insert(env.node);
   g.member_status[env.node] = true;
+  // Staleness backstop (active style): every synced active replica executes
+  // the same ordered prefix, so a sibling's mark carrying a state version
+  // beyond what ours can still reach (our version plus our in-flight
+  // mutating executions) means we missed ordered operations — e.g. the
+  // ring re-formed around us while our member set never changed, so no
+  // remerge reconciliation ever fired and we kept serving stale state as
+  // "synced". The check must run at the ordered mark delivery itself: a
+  // deferred version comparison is defeated by post-merge traffic, which
+  // advances the stale replica's version *counter* past the suspect value
+  // while the missed operation's effect stays absent forever.
+  if (g.cfg.style == Style::Active && env.node != id() &&
+      g.sync == SyncState::Synced && env.state_version > g.state_version) {
+    std::uint64_t inflight_mutations = 0;
+    for (const auto& [op, ex] : g.running) {
+      if (ex && !ex->read_only) ++inflight_mutations;
+    }
+    if (env.state_version > g.state_version + inflight_mutations) {
+      journal(obs::EventKind::RemergeDetected, g.cfg.name,
+              "stale synced replica: version=" +
+                  std::to_string(g.state_version) + " behind mark=" +
+                  std::to_string(env.state_version) + " from node " +
+                  std::to_string(env.node) + ", resync");
+      begin_resync(g);
+      return;
+    }
+  }
   check_promotion(g, was_primary);
 }
 

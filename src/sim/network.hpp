@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "cdr/arena.hpp"
@@ -41,7 +43,19 @@ struct NetStats {
   std::uint64_t datagrams_delivered = 0;
   std::uint64_t datagrams_lost = 0;
   std::uint64_t datagrams_partitioned = 0;
+  std::uint64_t datagrams_blocked = 0;  // dropped by a directed link block
   std::uint64_t bytes_sent = 0;
+};
+
+/// Gray-failure profile for one node: the node is alive and participates in
+/// the protocol, but everything it touches is slow. `factor` multiplies the
+/// transit time of every datagram it sends or receives; `extra` is a fixed
+/// additional delay per datagram (models a saturated NIC / GC pause / an
+/// overloaded kernel, the paper's "slow-but-alive" processor).
+struct Slowdown {
+  double factor = 1.0;
+  Time extra = 0;
+  bool degraded() const noexcept { return factor != 1.0 || extra != 0; }
 };
 
 class Network {
@@ -74,25 +88,46 @@ class Network {
   /// Partition the network into the given components. Nodes not listed form
   /// one implicit extra component. Replaces any previous partition.
   void set_partitions(const std::vector<std::vector<NodeId>>& components);
-  /// Restore full connectivity.
+  /// Restore full connectivity (clears both partitions and link blocks).
   void heal_partitions();
   bool reachable(NodeId a, NodeId b) const {
     return component_.at(a) == component_.at(b);
   }
   std::uint32_t component_of(NodeId node) const { return component_.at(node); }
 
+  // --- gray failures -------------------------------------------------------
+  /// Degrade (or restore, with the default Slowdown) a single node. Applies
+  /// to datagrams in both directions: the slow node drains its NIC late and
+  /// serialises its sends late, so its peers see it as laggy, not dead.
+  void set_slowdown(NodeId node, Slowdown s);
+  const Slowdown& slowdown(NodeId node) const { return slow_.at(node); }
+  void clear_slowdowns();
+
+  // --- asymmetric connectivity --------------------------------------------
+  /// Block the directed link from -> to (to -> from still works). Composes
+  /// with partitions; checked both at send and at delivery time, so in-flight
+  /// datagrams are dropped when a block forms, as with partitions.
+  void block_link(NodeId from, NodeId to);
+  void unblock_link(NodeId from, NodeId to);
+  void clear_blocked_links() { blocked_.clear(); }
+  bool link_blocked(NodeId from, NodeId to) const {
+    return blocked_.count({from, to}) != 0;
+  }
+
   const NetStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = NetStats{}; }
 
  private:
   void deliver(NodeId from, NodeId to, const Frame& data);
-  Time transit_time(std::size_t bytes);
+  Time transit_time(NodeId from, NodeId to, std::size_t bytes);
 
   Simulation& sim_;
   NetParams params_;
   std::vector<Handler> handlers_;
   std::vector<bool> up_;
   std::vector<std::uint32_t> component_;
+  std::vector<Slowdown> slow_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;  // directed (from, to)
   NetStats stats_;
 };
 

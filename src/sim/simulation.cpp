@@ -5,7 +5,8 @@
 namespace eternal::sim {
 
 Simulation::Simulation(std::uint64_t seed)
-    : rng_(seed),
+    : seed_(seed),
+      rng_(seed),
       events_fired_(obs::Registry::global().counter("sim.events_fired")),
       timers_scheduled_(
           obs::Registry::global().counter("sim.timers_scheduled")) {

@@ -65,6 +65,9 @@ class Simulation {
 
   Time now() const noexcept { return now_; }
   util::Xoshiro256& rng() noexcept { return rng_; }
+  /// The seed this run was constructed with; stamped into observability
+  /// dumps so violation reports are self-describing.
+  std::uint64_t seed() const noexcept { return seed_; }
 
   /// Schedule fn at absolute time t (clamped to now if in the past).
   TimerHandle at(Time t, std::function<void()> fn);
@@ -95,6 +98,7 @@ class Simulation {
   };
 
   Time now_ = 0;
+  std::uint64_t seed_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = 200'000'000;

@@ -1,0 +1,284 @@
+#include "soak/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eternal::soak {
+
+namespace {
+
+// Distinct PRNG stream (see workload.cpp): the campaign's draws must not
+// perturb the simulation's protocol stream.
+constexpr std::uint64_t kChaosSalt = 0x6368616f73706c6eULL;  // "chaospln"
+
+std::string ms(sim::Time t) {
+  return std::to_string(t / sim::kMillisecond) + "ms";
+}
+
+std::string node_list(const std::vector<sim::NodeId>& nodes) {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out += ",";
+    out += "n" + std::to_string(nodes[i]);
+  }
+  return out;
+}
+
+std::string fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+ChaosPlan::ChaosPlan(rep::Domain& domain, ChaosParams params,
+                     std::vector<sim::NodeId> protected_nodes,
+                     std::uint64_t seed)
+    : domain_(domain),
+      fabric_(domain.fabric()),
+      net_(domain.fabric().network()),
+      sim_(domain.simulation()),
+      params_(params),
+      protected_(protected_nodes.begin(), protected_nodes.end()) {
+  util::Xoshiro256 rng(seed ^ kChaosSalt);
+  draw_schedule(rng);
+}
+
+ChaosPlan::~ChaosPlan() {
+  for (sim::TimerHandle& t : timers_) t.cancel();
+}
+
+std::vector<sim::NodeId> ChaosPlan::crashable_nodes() const {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId n = 0; n < net_.node_count(); ++n) {
+    if (protected_.count(n) == 0) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<sim::NodeId> ChaosPlan::draw_split(util::Xoshiro256& rng) {
+  std::vector<sim::NodeId> nodes;
+  for (sim::NodeId n = 0; n < net_.node_count(); ++n) nodes.push_back(n);
+  // Fisher–Yates with the campaign stream, then take a non-trivial prefix.
+  for (std::size_t i = nodes.size() - 1; i > 0; --i) {
+    std::swap(nodes[i], nodes[rng.below(i + 1)]);
+  }
+  const auto k = static_cast<std::size_t>(rng.between(1, nodes.size() - 1));
+  nodes.resize(k);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+void ChaosPlan::draw_schedule(util::Xoshiro256& rng) {
+  std::vector<int> kinds;
+  if (params_.allow_crashes && !crashable_nodes().empty()) kinds.push_back(0);
+  if (params_.allow_partitions) kinds.push_back(1);
+  if (params_.allow_flapping) kinds.push_back(2);
+  if (params_.allow_links) kinds.push_back(3);
+  if (params_.allow_gray) kinds.push_back(4);
+  if (params_.allow_skew) kinds.push_back(5);
+  if (kinds.empty() || params_.duration == 0) return;
+
+  for (std::size_t m = 0; m < params_.motifs; ++m) {
+    // Onset in the first 60% of the window; duration 15–40% of it; always
+    // reverted before the window closes so the run ends with recovery time.
+    const sim::Time at =
+        params_.start + rng.below(std::max<sim::Time>(1, params_.duration * 6 / 10));
+    sim::Time dur = params_.duration * 3 / 20 +
+                    rng.below(std::max<sim::Time>(1, params_.duration / 4));
+    const sim::Time window_end = params_.start + params_.duration;
+    if (at + dur > window_end) dur = window_end - at;
+    if (dur == 0) continue;
+
+    Motif motif;
+    switch (kinds[rng.below(kinds.size())]) {
+      case 0: motif = draw_crash(rng, at, dur); break;
+      case 1: motif = draw_partition(rng, at, dur, false); break;
+      case 2: motif = draw_partition(rng, at, dur, true); break;
+      case 3: motif = draw_link(rng, at, dur); break;
+      case 4: motif = draw_gray(rng, at, dur); break;
+      default: motif = draw_skew(rng, at, dur); break;
+    }
+    if (!spec_.empty()) spec_ += ";";
+    spec_ += motif.spec;
+    motifs_.push_back(std::move(motif));
+  }
+}
+
+ChaosPlan::Motif ChaosPlan::draw_crash(util::Xoshiro256& rng, sim::Time at,
+                                       sim::Time dur) {
+  // Correlated crash: up to max_down victims fail at the same instant and
+  // recover together (the paper's simultaneous-processor-loss case).
+  std::vector<sim::NodeId> pool = crashable_nodes();
+  for (std::size_t i = pool.size() - 1; i > 0; --i) {
+    std::swap(pool[i], pool[rng.below(i + 1)]);
+  }
+  const auto want = static_cast<std::size_t>(
+      rng.between(1, std::max<std::uint64_t>(1, params_.max_down)));
+  pool.resize(std::min(want, pool.size()));
+  std::sort(pool.begin(), pool.end());
+
+  Motif m;
+  m.at = at;
+  m.until = at + dur;
+  m.spec = "crash(" + node_list(pool) + "@" + ms(at) + "+" + ms(dur) + ")";
+  m.apply = [this, pool] {
+    for (sim::NodeId n : pool) {
+      // Concurrency cap is enforced at fire time: an overlapping crash
+      // motif may already hold some victims down.
+      if (downed_.size() >= params_.max_down) break;
+      if (!fabric_.is_up(n)) continue;
+      fabric_.crash(n);
+      downed_.insert(n);
+    }
+  };
+  m.revert = [this, pool] {
+    for (sim::NodeId n : pool) {
+      if (downed_.erase(n) != 0) domain_.restart(n);
+    }
+  };
+  return m;
+}
+
+ChaosPlan::Motif ChaosPlan::draw_partition(util::Xoshiro256& rng, sim::Time at,
+                                           sim::Time dur, bool flapping) {
+  const std::vector<sim::NodeId> side = draw_split(rng);
+  Motif m;
+  m.at = at;
+  m.until = at + dur;
+  if (!flapping) {
+    m.spec = "part([" + node_list(side) + "]@" + ms(at) + "+" + ms(dur) + ")";
+    m.apply = [this, side] { net_.set_partitions({side}); };
+    // Healing also clears directed link blocks (the network treats a heal
+    // as full recovery); an overlapping link motif ends early then — an
+    // acceptable composition, since heal_all() is the only guarantee.
+    m.revert = [this] { net_.heal_partitions(); };
+    return m;
+  }
+
+  // Flapping: the same split applied and healed `flips` times across the
+  // window — partitioned for 60% of each cycle, merged for the rest. The
+  // remerge detector and fulfillment replay run once per cycle.
+  const auto flips = static_cast<std::size_t>(rng.between(2, 4));
+  const sim::Time cycle = std::max<sim::Time>(1, dur / flips);
+  m.spec = "flap([" + node_list(side) + "]x" + std::to_string(flips) + "@" +
+           ms(at) + "+" + ms(dur) + ")";
+  m.apply = [this, side, flips, cycle] {
+    net_.set_partitions({side});
+    for (std::size_t f = 0; f < flips; ++f) {
+      const sim::Time heal_off = cycle * 6 / 10;
+      timers_.push_back(sim_.after(f * cycle + heal_off,
+                                   [this] { net_.heal_partitions(); }));
+      if (f + 1 < flips) {
+        timers_.push_back(sim_.after((f + 1) * cycle, [this, side] {
+          net_.set_partitions({side});
+        }));
+      }
+    }
+  };
+  m.revert = [this] { net_.heal_partitions(); };
+  return m;
+}
+
+ChaosPlan::Motif ChaosPlan::draw_link(util::Xoshiro256& rng, sim::Time at,
+                                      sim::Time dur) {
+  // Asymmetric connectivity: 1–3 directed blocks. A hears B; B does not
+  // hear A — the failure mode symmetric partitions cannot model.
+  const auto count = static_cast<std::size_t>(rng.between(1, 3));
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> links;
+  std::string names;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto from = static_cast<sim::NodeId>(rng.below(net_.node_count()));
+    auto to = static_cast<sim::NodeId>(rng.below(net_.node_count() - 1));
+    if (to >= from) ++to;
+    links.emplace_back(from, to);
+    if (!names.empty()) names += ",";
+    names += std::to_string(from) + ">" + std::to_string(to);
+  }
+  Motif m;
+  m.at = at;
+  m.until = at + dur;
+  m.spec = "link(" + names + "@" + ms(at) + "+" + ms(dur) + ")";
+  m.apply = [this, links] {
+    for (const auto& [from, to] : links) net_.block_link(from, to);
+  };
+  m.revert = [this, links] {
+    for (const auto& [from, to] : links) net_.unblock_link(from, to);
+  };
+  return m;
+}
+
+ChaosPlan::Motif ChaosPlan::draw_gray(util::Xoshiro256& rng, sim::Time at,
+                                      sim::Time dur) {
+  // Gray failure: slow-but-alive. The node stays in the ring but every
+  // datagram it touches is late, so peers see lag, not death.
+  const auto node = static_cast<sim::NodeId>(rng.below(net_.node_count()));
+  sim::Slowdown s;
+  s.factor = 2.0 + rng.uniform01() * 4.0;               // 2x .. 6x
+  s.extra = rng.between(0, 2000);                       // up to 2ms fixed
+  Motif m;
+  m.at = at;
+  m.until = at + dur;
+  m.spec = "gray(n" + std::to_string(node) + " x" + fmt1(s.factor) + "+" +
+           std::to_string(s.extra) + "us@" + ms(at) + "+" + ms(dur) + ")";
+  m.apply = [this, node, s] { net_.set_slowdown(node, s); };
+  m.revert = [this, node] { net_.set_slowdown(node, {}); };
+  return m;
+}
+
+ChaosPlan::Motif ChaosPlan::draw_skew(util::Xoshiro256& rng, sim::Time at,
+                                      sim::Time dur) {
+  // Clock-rate skew: the node's protocol timers run fast (over-eager
+  // failure detection) or slow (late token-loss recovery).
+  const auto node = static_cast<sim::NodeId>(rng.below(net_.node_count()));
+  const double rate = rng.chance(0.5) ? 1.05 + rng.uniform01() * 0.15   // fast
+                                      : 0.85 + rng.uniform01() * 0.10;  // slow
+  Motif m;
+  m.at = at;
+  m.until = at + dur;
+  m.spec = "skew(n" + std::to_string(node) + " r" + fmt1(rate) + "@" + ms(at) +
+           "+" + ms(dur) + ")";
+  m.apply = [this, node, rate] { fabric_.node(node).set_clock_rate(rate); };
+  m.revert = [this, node] { fabric_.node(node).set_clock_rate(1.0); };
+  return m;
+}
+
+void ChaosPlan::start() {
+  if (started_) return;
+  started_ = true;
+  for (const Motif& m : motifs_) {
+    timers_.push_back(sim_.after(m.at, m.apply));
+    timers_.push_back(sim_.after(m.until, m.revert));
+  }
+}
+
+void ChaosPlan::heal_all() {
+  for (sim::TimerHandle& t : timers_) t.cancel();
+  timers_.clear();
+  net_.heal_partitions();  // also clears directed link blocks
+  net_.clear_slowdowns();
+  for (sim::NodeId n = 0; n < net_.node_count(); ++n) {
+    fabric_.node(n).set_clock_rate(1.0);
+  }
+  // Restart every node this plan crashed, plus anything else found down
+  // (belt and braces: the runner audits a fully-recovered cluster).
+  for (sim::NodeId n = 0; n < net_.node_count(); ++n) {
+    if (!fabric_.is_up(n)) {
+      domain_.restart(n);
+      downed_.erase(n);
+    }
+  }
+  downed_.clear();
+}
+
+std::string ChaosPlan::describe() const {
+  std::string out;
+  for (const Motif& m : motifs_) {
+    out += "  t+" + ms(m.at) + " .. t+" + ms(m.until) + "  " + m.spec + "\n";
+  }
+  if (out.empty()) out = "  (no motifs)\n";
+  return out;
+}
+
+}  // namespace eternal::soak

@@ -1,0 +1,123 @@
+// Composable seed-randomized fault campaigns for the soak harness.
+//
+// A ChaosPlan generalizes the hand-written fault schedules the tests and
+// benches use (sim::FaultPlan-style "crash at t, heal at t'") into a
+// *campaign*: a deterministic composition of fault motifs drawn from the
+// run seed. Motifs cover the failure modes the paper's lessons call out:
+//
+//   crash   — correlated multi-node crashes with in-run recovery;
+//   part    — a clean two-component partition, healed after a while;
+//   flap    — a flapping partition: the same split applied and healed
+//             repeatedly, the remerge-detector's worst customer;
+//   link    — asymmetric connectivity: directed link blocks (A hears B,
+//             B does not hear A), composing with partitions;
+//   gray    — a gray failure: one node slow-but-alive (transit-time
+//             multiplier + fixed extra delay in both directions);
+//   skew    — per-node clock-rate skew: one node's protocol timers run
+//             fast or slow, so its failure detector fires early or late.
+//
+// Every choice — motif types, targets, onsets, durations — is drawn from a
+// PRNG stream derived from the run seed, so a campaign replays exactly from
+// `soakctl run --seed N ...`, and `spec()` renders the whole schedule as a
+// compact one-line string for violation reports.
+//
+// Invariant-preserving constraints: protected nodes (the workload's client
+// nodes) are never crashed (a crashed client legitimately loses its calls);
+// at most max_down nodes are down at once; every motif reverts within the
+// campaign window; and heal_all() — which the runner calls before draining
+// — restores full connectivity, nominal clocks and every crashed node
+// regardless of where the schedule was interrupted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rep/domain.hpp"
+#include "util/prng.hpp"
+
+namespace eternal::soak {
+
+struct ChaosParams {
+  /// Campaign window, relative to start(): first onset at >= `start`, every
+  /// motif reverted by `start + duration`.
+  sim::Time start = 200 * sim::kMillisecond;
+  sim::Time duration = sim::kSecond;
+  /// How many motifs to compose (drawn independently; they may overlap).
+  std::size_t motifs = 3;
+  /// Maximum nodes down simultaneously (crash motifs respect this).
+  std::size_t max_down = 2;
+  /// Motif-class toggles, for focused campaigns and ablations.
+  bool allow_crashes = true;
+  bool allow_partitions = true;
+  bool allow_flapping = true;
+  bool allow_links = true;
+  bool allow_gray = true;
+  bool allow_skew = true;
+};
+
+class ChaosPlan {
+ public:
+  /// Draws the whole schedule at construction from `seed`; nothing touches
+  /// the cluster until start(). `protected_nodes` are never crashed.
+  ChaosPlan(rep::Domain& domain, ChaosParams params,
+            std::vector<sim::NodeId> protected_nodes, std::uint64_t seed);
+  ~ChaosPlan();
+
+  ChaosPlan(const ChaosPlan&) = delete;
+  ChaosPlan& operator=(const ChaosPlan&) = delete;
+
+  /// Arm the apply/revert timers for every motif.
+  void start();
+
+  /// Idempotent full recovery: cancel outstanding motif timers, heal
+  /// partitions and link blocks, clear slowdowns, restore nominal clock
+  /// rates, and restart every crashed node. Safe to call at any point.
+  void heal_all();
+
+  /// The drawn schedule as one compact line, e.g.
+  /// "crash(n3,n5@400ms+300ms);gray(n1 x4.0+800us@550ms+400ms)".
+  const std::string& spec() const noexcept { return spec_; }
+  std::size_t motif_count() const noexcept { return motifs_.size(); }
+
+  /// Human-readable schedule listing (one motif per line), for `soakctl
+  /// plan`.
+  std::string describe() const;
+
+ private:
+  struct Motif {
+    sim::Time at = 0;     // onset, relative to start()
+    sim::Time until = 0;  // revert time, relative to start()
+    std::string spec;
+    std::function<void()> apply;
+    std::function<void()> revert;
+  };
+
+  void draw_schedule(util::Xoshiro256& rng);
+  Motif draw_crash(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
+  Motif draw_partition(util::Xoshiro256& rng, sim::Time at, sim::Time dur,
+                       bool flapping);
+  Motif draw_link(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
+  Motif draw_gray(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
+  Motif draw_skew(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
+  /// A random two-component split of all nodes (both sides non-empty).
+  std::vector<sim::NodeId> draw_split(util::Xoshiro256& rng);
+  std::vector<sim::NodeId> crashable_nodes() const;
+
+  rep::Domain& domain_;
+  totem::Fabric& fabric_;
+  sim::Network& net_;
+  sim::Simulation& sim_;
+  ChaosParams params_;
+  std::set<sim::NodeId> protected_;
+  std::vector<Motif> motifs_;
+  std::string spec_;
+  std::vector<sim::TimerHandle> timers_;
+  /// Nodes this plan crashed and has not yet restarted.
+  std::set<sim::NodeId> downed_;
+  bool started_ = false;
+};
+
+}  // namespace eternal::soak

@@ -1,0 +1,115 @@
+// Open-loop workload generation for the soak harness.
+//
+// A WorkloadGen drives a simulated cluster the way a population of
+// independent clients would: arrivals are a Poisson process at a configured
+// *offered* rate (open loop — the next arrival is scheduled regardless of
+// whether earlier operations have completed, so saturation shows up as
+// growing latency and backpressure sheds, not as a politely throttled
+// client), group popularity is Zipf-skewed (a few hot groups, a long cold
+// tail), and optional churn toggles clients between active and idle
+// periods mid-run.
+//
+// Each client slot is one node's unreplicated rep::Client stub. Operation
+// identifiers are derived from (node, per-client sequence), so at most one
+// workload client runs per node — WorkloadGen enforces that by construction
+// (slot i drives node i). Invocations are pipelined: completions are
+// observed through Invocation::then, never by blocking, and the client's
+// TRANSIENT backpressure is accounted as a shed arrival, which is exactly
+// the open-loop overload signal the latency-vs-load bench wants to see.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rep/domain.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace eternal::soak {
+
+struct WorkloadParams {
+  /// Concurrent client slots; slot i issues from node i, so this is capped
+  /// by the cluster size at construction.
+  std::size_t clients = 3;
+  /// Total offered load across all clients, operations per simulated second.
+  double offered_rate = 200.0;
+  /// Zipf exponent for group popularity; 0 = uniform over the groups.
+  double zipf_s = 1.2;
+  /// Fraction of arrivals that are reads ("get") vs writes ("incr").
+  double read_fraction = 0.2;
+  /// Per-client pipelining cap (Client::set_max_outstanding); 0 = engine
+  /// backpressure only.
+  std::size_t max_outstanding = 64;
+  /// Client retransmit interval for unanswered invocations.
+  sim::Time retry_interval = 100 * sim::kMillisecond;
+  /// Mean time between churn toggles per client; 0 disables churn. A
+  /// toggled-off client stops issuing but its in-flight pipeline drains
+  /// normally (a polite departure, not a crash).
+  sim::Time churn_interval = 0;
+};
+
+struct WorkloadStats {
+  std::uint64_t issued = 0;     // arrivals that reached Client::invoke
+  std::uint64_t completed = 0;  // replies delivered
+  std::uint64_t failed = 0;     // completed with a carried exception
+  std::uint64_t shed = 0;       // refused with TRANSIENT backpressure
+  std::uint64_t churn_leaves = 0;
+  std::uint64_t churn_joins = 0;
+  util::Summary latency_us;     // client-observed, completed ops only
+};
+
+class WorkloadGen {
+ public:
+  /// `groups` are the target object groups (already created). The generator
+  /// draws from its own PRNG stream derived from `seed`, independent of the
+  /// simulation's protocol stream.
+  WorkloadGen(rep::Domain& domain, WorkloadParams params,
+              std::vector<std::string> groups, std::uint64_t seed);
+  ~WorkloadGen();
+
+  WorkloadGen(const WorkloadGen&) = delete;
+  WorkloadGen& operator=(const WorkloadGen&) = delete;
+
+  /// Arm the per-client arrival (and churn) timers.
+  void start();
+  /// Stop issuing new arrivals; in-flight operations keep draining.
+  void stop();
+
+  const WorkloadStats& stats() const noexcept { return stats_; }
+  std::uint64_t in_flight() const noexcept { return in_flight_; }
+  const std::vector<std::string>& groups() const noexcept { return groups_; }
+
+  /// The nodes hosting client slots. The chaos layer must not crash these:
+  /// a crashed client process legitimately abandons its in-flight calls,
+  /// which would read as lost operations to the invariant audit.
+  std::vector<sim::NodeId> client_nodes() const;
+
+ private:
+  struct Slot {
+    sim::NodeId node = 0;
+    bool active = true;
+    sim::TimerHandle arrival;
+    sim::TimerHandle churn;
+  };
+
+  void arm(std::size_t i);
+  void fire(std::size_t i);
+  void churn_tick(std::size_t i);
+  std::size_t pick_group();
+  sim::Time exp_delay(double mean_us);
+
+  rep::Domain& domain_;
+  sim::Simulation& sim_;
+  WorkloadParams params_;
+  std::vector<std::string> groups_;
+  std::vector<double> zipf_cdf_;
+  util::Xoshiro256 rng_;
+  double mean_interarrival_us_ = 0;
+  bool running_ = false;
+  std::uint64_t in_flight_ = 0;
+  WorkloadStats stats_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace eternal::soak

@@ -64,11 +64,19 @@ void GroupLayer::handle_announce(NodeId origin, const cdr::WireBuf& payload) {
 
 void GroupLayer::on_deliver(Delivered&& d) {
   if (d.control) {
-    if (d.group == kAnnounceGroup) handle_announce(d.origin, d.payload);
+    if (group_view(d.group) == kAnnounceGroup) {
+      handle_announce(d.origin, d.payload);
+    }
     return;
   }
-  GroupMessage msg;
-  msg.group = std::move(d.group);
+  // The scratch message's group string reuses its capacity across
+  // deliveries, so turning the borrowed wire slice into map-lookup form
+  // allocates nothing in steady state. Delivery is not re-entrant (the sim
+  // runs one event at a time and subscribers enqueue follow-on work), so
+  // one scratch per layer is safe.
+  GroupMessage& msg = scratch_;
+  const std::string_view name = group_view(d.group);
+  msg.group.assign(name.data(), name.size());
   msg.sender = d.origin;
   msg.ring = d.ring;
   msg.seq = d.seq;

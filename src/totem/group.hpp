@@ -107,6 +107,9 @@ class GroupLayer {
   std::map<std::string, std::vector<NodeId>> compute_memberships() const;
 
   Node& node_;
+  /// Delivery scratch: its group string keeps its capacity across packets,
+  /// so no std::string is rehydrated per delivery (see on_deliver).
+  GroupMessage scratch_;
   std::set<std::string> my_groups_;
   /// groups each node announced, pruned to ring members on view change
   std::map<NodeId, std::set<std::string>> node_groups_;

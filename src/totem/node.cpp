@@ -71,9 +71,9 @@ void Node::start() {
       pkt.announce = RingAnnounceMsg{id_, cur_.id, cur_.members};
       multicast(pkt);
     }
-    announce_timer_ = sim_.after(params_.announce_interval, *tick);
+    announce_timer_ = sim_.after(local(params_.announce_interval), *tick);
   };
-  announce_timer_ = sim_.after(params_.announce_interval, *tick);
+  announce_timer_ = sim_.after(local(params_.announce_interval), *tick);
 }
 
 void Node::halt() {
@@ -100,8 +100,9 @@ void Node::restart() {
   start();
 }
 
-void Node::broadcast(std::string group, cdr::WireBuf payload, bool control,
-                     std::uint64_t trace_id, std::uint64_t parent_span) {
+void Node::broadcast(std::string_view group, cdr::WireBuf payload,
+                     bool control, std::uint64_t trace_id,
+                     std::uint64_t parent_span) {
   DataMsg d;
   d.origin = id_;
   d.flags = control ? kFlagControl : 0;
@@ -110,7 +111,7 @@ void Node::broadcast(std::string group, cdr::WireBuf payload, bool control,
     d.trace_id = trace_id;
     d.parent_span = parent_span;
   }
-  d.group = std::move(group);
+  d.group = group_buf(group);
   d.payload = std::move(payload);
   pending_.push_back(std::move(d));
 }
@@ -145,7 +146,7 @@ void Node::store_data(const DataMsg& d) {
     return;  // foreign or obsolete ring
   }
   if (d.seq <= rs->delivered || rs->received.count(d.seq)) return;  // dup
-  // lint:allow(hotpath-alloc: ordered-store map node; the payload is a refcounted frame slice, so storing it bumps a count, not a copy)
+  // lint:allow(hotpath-alloc: ordered-store map node only; group and payload are both refcounted frame slices, so storing the message shares the arriving frame's bytes)
   rs->received.emplace(d.seq, d);
   rs->high = std::max(rs->high, d.seq);
   while (rs->received.count(rs->my_aru + 1)) ++rs->my_aru;
@@ -223,7 +224,7 @@ void Node::dispatch(DataMsg& d, bool transitional, bool movable) {
     store_data(inner);
     return;
   }
-  if (d.group == kRecoveryDoneGroup) {
+  if (group_view(d.group) == kRecoveryDoneGroup) {
     if (d.ring != cur_.id) return;  // stale marker from a flushed ring
     // lint:allow(hotpath-alloc: membership change only, never steady state)
     recovery_done_from_.insert(d.origin);
@@ -260,7 +261,7 @@ sim::Time Node::token_loss_timeout() const {
 }
 
 void Node::arm_token_loss() {
-  token_loss_timer_ = sim_.after(token_loss_timeout(), [this] {
+  token_loss_timer_ = sim_.after(local(token_loss_timeout()), [this] {
     if (state_ != State::Operational && state_ != State::Recovery) return;
     counters_.token_losses.inc();
     ETERNAL_DEBUG("totem", "node ", id_, " token loss on ring ",
@@ -430,7 +431,7 @@ void Node::forward_token(TokenMsg t) {
   // lint: hotpath — runs once per token visit
   t.dest = next_member(cur_.members, id_);
   t.token_id += 1;
-  token_hold_timer_ = sim_.after(params_.token_hold, [this, t] {
+  token_hold_timer_ = sim_.after(local(params_.token_hold), [this, t] {
     if (state_ != State::Operational && state_ != State::Recovery) return;
     if (!(t.ring == cur_.id)) return;
     Packet pkt;
@@ -442,7 +443,7 @@ void Node::forward_token(TokenMsg t) {
     // The resend state lives in last_sent_token_, so the timer closure
     // captures only `this` (fits the std::function inline storage).
     token_retransmit_timer_ =
-        sim_.after(params_.token_retransmit, [this] { resend_token(); });
+        sim_.after(local(params_.token_retransmit), [this] { resend_token(); });
     arm_token_loss();
   });
 }
@@ -456,7 +457,7 @@ void Node::resend_token() {
   pkt.token = *last_sent_token_;
   unicast(pkt.token.dest, pkt);
   token_retransmit_timer_ =
-      sim_.after(params_.token_retransmit, [this] { resend_token(); });
+      sim_.after(local(params_.token_retransmit), [this] { resend_token(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -491,18 +492,18 @@ void Node::enter_gather() {
   *join_tick = [this, join_tick] {
     if (state_ != State::Gather) return;
     send_join();
-    join_timer_ = sim_.after(params_.join_interval, *join_tick);
+    join_timer_ = sim_.after(local(params_.join_interval), *join_tick);
   };
-  join_timer_ = sim_.after(params_.join_interval, *join_tick);
+  join_timer_ = sim_.after(local(params_.join_interval), *join_tick);
 
   auto consensus_tick = std::make_shared<std::function<void()>>();
   *consensus_tick = [this, consensus_tick] {
     if (state_ != State::Gather) return;
     try_consensus();
     if (state_ != State::Gather) return;
-    consensus_timer_ = sim_.after(params_.join_interval, *consensus_tick);
+    consensus_timer_ = sim_.after(local(params_.join_interval), *consensus_tick);
   };
-  consensus_timer_ = sim_.after(params_.join_interval, *consensus_tick);
+  consensus_timer_ = sim_.after(local(params_.join_interval), *consensus_tick);
 }
 
 void Node::send_join() {
@@ -519,7 +520,7 @@ void Node::recompute_candidates() {
   std::vector<NodeId> fresh{id_};
   for (const auto& [node, rec] : last_join_) {
     if (node == id_) continue;
-    if (sim_.now() - rec.when > params_.join_freshness) continue;
+    if (sim_.now() - rec.when > local(params_.join_freshness)) continue;
     fresh.push_back(node);
   }
   std::sort(fresh.begin(), fresh.end());
@@ -561,7 +562,7 @@ void Node::handle_join(const JoinMsg& j) {
 void Node::try_consensus() {
   if (state_ != State::Gather) return;
   recompute_candidates();
-  if (sim_.now() - candidates_stable_since_ < params_.consensus_timeout) {
+  if (sim_.now() - candidates_stable_since_ < local(params_.consensus_timeout)) {
     return;
   }
   for (NodeId p : candidates_) {
@@ -576,7 +577,7 @@ void Node::try_consensus() {
   consensus_timer_.cancel();
   state_ = State::Commit;
   commit_timer_.cancel();
-  commit_timer_ = sim_.after(params_.commit_timeout, [this] {
+  commit_timer_ = sim_.after(local(params_.commit_timeout), [this] {
     if (state_ == State::Commit) enter_gather();
   });
   if (id_ == candidates_.front()) {
@@ -645,7 +646,7 @@ void Node::handle_commit(CommitMsg c) {
       pkt.commit = c;
       unicast(c.dest, pkt);
       commit_timer_.cancel();
-      commit_timer_ = sim_.after(params_.commit_timeout, [this] {
+      commit_timer_ = sim_.after(local(params_.commit_timeout), [this] {
         if (state_ == State::Recovery && last_token_id_ == 0) enter_gather();
       });
     } else {
@@ -654,7 +655,7 @@ void Node::handle_commit(CommitMsg c) {
       state_ = State::Commit;
       candidates_ = c.members;  // accept the leader's membership
       commit_timer_.cancel();
-      commit_timer_ = sim_.after(params_.commit_timeout, [this] {
+      commit_timer_ = sim_.after(local(params_.commit_timeout), [this] {
         if (state_ == State::Commit) enter_gather();
       });
       c.dest = next_member(c.members, id_);
@@ -712,7 +713,6 @@ void Node::enter_recovery(const CommitMsg& commit) {
         DataMsg wrap;
         wrap.origin = id_;
         wrap.flags = kFlagRecovery;
-        wrap.group = "";
         wrap.payload = encode_data(arena_, msg);
         wrap.old_ring = old_->id;
         wrap.old_seq = seq;
@@ -725,7 +725,7 @@ void Node::enter_recovery(const CommitMsg& commit) {
   DataMsg done;
   done.origin = id_;
   done.flags = kFlagControl;
-  done.group = kRecoveryDoneGroup;
+  done.group = group_buf(kRecoveryDoneGroup);
   recovery_pending_.push_back(std::move(done));
 
   arm_token_loss();

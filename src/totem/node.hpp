@@ -72,16 +72,17 @@ struct Params {
   std::uint32_t max_pending = 4096;
 };
 
-/// A message handed up to the layer above, in total order. The payload is a
-/// refcounted slice of the frame it arrived in (or of the sender's sealed
-/// frame for self-delivery) — handing it up bumps a refcount, never copies.
+/// A message handed up to the layer above, in total order. The payload and
+/// group name are refcounted slices of the frame it arrived in (or of the
+/// sender's sealed frame for self-delivery) — handing it up bumps a
+/// refcount, never copies.
 struct Delivered {
   RingId ring;
   std::uint64_t seq = 0;
   NodeId origin = 0;
   bool control = false;       // group-layer control traffic
   bool transitional = false;  // delivered in a transitional configuration
-  std::string group;
+  cdr::WireBuf group;         // name bytes; see totem::group_view
   cdr::WireBuf payload;
 };
 
@@ -155,12 +156,25 @@ class Node {
   /// Sent when this node next holds the token; queued across view changes.
   /// A non-zero trace id attaches the payload's causal trace context to the
   /// frame (kFlagTraced), so the token-visit send emits a span in that chain.
-  void broadcast(std::string group, cdr::WireBuf payload, bool control = false,
-                 std::uint64_t trace_id = 0, std::uint64_t parent_span = 0);
+  void broadcast(std::string_view group, cdr::WireBuf payload,
+                 bool control = false, std::uint64_t trace_id = 0,
+                 std::uint64_t parent_span = 0);
 
   /// The node's wire arena: senders build payloads here (one Writer at a
   /// time), and every outbound packet is framed from it.
   cdr::Arena& arena() noexcept { return arena_; }
+
+  /// Per-node clock-rate skew (chaos hook). rate > 1: this node's oscillator
+  /// runs fast, so every protocol timeout (token loss/retransmit/hold,
+  /// join/consensus/commit, announce) elapses early in simulated real time;
+  /// rate < 1: timeouts elapse late. A fast failure detector convicts
+  /// healthy peers; a slow one delays reconfiguration — exactly the
+  /// miscalibration class the soak campaigns probe. Non-positive rates are
+  /// ignored.
+  void set_clock_rate(double rate) {
+    if (rate > 0) clock_rate_ = rate;
+  }
+  double clock_rate() const noexcept { return clock_rate_; }
 
   bool running() const noexcept { return state_ != State::Down; }
   bool operational() const noexcept { return state_ == State::Operational; }
@@ -232,6 +246,16 @@ class Node {
   void flush_old_ring();
 
   // --- helpers ---
+  /// A nominal timer interval as measured by this node's skewed clock: a
+  /// fast clock (rate > 1) sees the interval elapse in fewer simulated
+  /// microseconds. All protocol timer arms and elapsed-time comparisons go
+  /// through this.
+  sim::Time local(sim::Time nominal) const {
+    if (clock_rate_ == 1.0) return nominal;
+    const auto t = static_cast<sim::Time>(static_cast<double>(nominal) /
+                                          clock_rate_);
+    return t > 0 ? t : 1;
+  }
   void send_join();
   void recompute_candidates();
   NodeId next_member(const std::vector<NodeId>& members, NodeId after) const;
@@ -242,6 +266,7 @@ class Node {
   sim::Network& net_;
   const NodeId id_;
   Params params_;
+  double clock_rate_ = 1.0;
 
   /// Arena every outbound frame is encoded into; received packets decode
   /// into the scratch Packet, whose vectors keep their capacity across

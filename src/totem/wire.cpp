@@ -46,27 +46,27 @@ void get_seqs(cdr::Decoder& dec, std::vector<std::uint64_t>& seqs) {
 // wire string non-empty even for the root group. Encoded field by field so
 // the hot path never builds the concatenated temporary; the byte layout is
 // exactly put_string("g" + group) — ulong(len+2), 'g', name bytes, NUL.
-void put_group_tag(cdr::Writer& w, const std::string& group) {
+void put_group_tag(cdr::Writer& w, const cdr::WireBuf& group) {
   if (group.size() + 2 > 0xffffffffULL) {
     throw cdr::MarshalError("group name too long");
   }
   w.put_ulong(static_cast<std::uint32_t>(group.size()) + 2);
   w.put_octet('g');
-  w.put_raw({reinterpret_cast<const std::uint8_t*>(group.data()),
-             group.size()});
+  w.put_raw(group.span());
   w.put_octet(0);
 }
 
-void get_group_tag(cdr::Decoder& dec, std::string& group) {
+void get_group_tag(cdr::Decoder& dec, cdr::WireBuf& group) {
   const std::uint32_t len = dec.get_ulong();
   if (len < 2 || dec.get_octet() != 'g') {
     throw cdr::MarshalError("bad group tag");
   }
-  const auto name = dec.get_raw(len - 2);
+  // Borrow the name bytes from the arriving frame: a slab refcount bump (or
+  // an inline memcpy for small frames), never a std::string rehydration.
+  group = dec.get_raw_buf(len - 2);
   if (dec.get_octet() != 0) {
     throw cdr::MarshalError("group tag missing NUL terminator");
   }
-  group.assign(reinterpret_cast<const char*>(name.data()), name.size());
 }
 
 DataMsg decode_data_from(cdr::Decoder& dec) {

@@ -18,7 +18,9 @@
 #include <compare>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cdr/cdr.hpp"
@@ -64,7 +66,11 @@ struct DataMsg {
   std::uint64_t seq = 0;  // position in the ring's total order
   NodeId origin = 0;
   std::uint8_t flags = 0;
-  std::string group;  // destination process/object group ("" for ring ctrl)
+  /// Destination process/object group name (empty for ring control).
+  /// Carried as a WireBuf, not a string: decode borrows a slice of the
+  /// arriving frame, and senders stamp an inline copy via group_buf(), so
+  /// no std::string is rehydrated per packet anywhere on the data path.
+  cdr::WireBuf group;
   /// Payload bytes. Decoded frames hold a slice of the arriving frame
   /// (refcounted slab share, no copy); copies of the message — e.g. into
   /// the retransmission store — bump the refcount instead of duplicating.
@@ -136,6 +142,19 @@ struct RingAnnounceMsg {
   RingId ring;
   std::vector<NodeId> members;
 };
+
+/// A group name as a wire buffer: an inline copy for realistic name lengths
+/// (<= 256 bytes — no allocation), slab-backed beyond that. Senders stamp
+/// outgoing DataMsgs with this.
+inline cdr::WireBuf group_buf(std::string_view name) {
+  return cdr::WireBuf(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+}
+
+/// The textual view of a group-name buffer (valid while the buffer lives).
+inline std::string_view group_view(const cdr::WireBuf& g) noexcept {
+  return {reinterpret_cast<const char*>(g.data()), g.size()};
+}
 
 /// Tagged union of every protocol message.
 struct Packet {

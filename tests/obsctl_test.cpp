@@ -273,6 +273,98 @@ TEST(ObsctlAudit, FlagsInjectedDuplicateExecution) {
   EXPECT_NE(violations[0].detail.find("node 1"), std::string::npos);
 }
 
+obs::FlightRecord journal_record(std::uint64_t time, std::uint32_t node,
+                                 obs::EventKind kind,
+                                 const std::string& detail) {
+  obs::FlightRecord r;
+  r.time = r.end = time;
+  r.node = node;
+  r.stream = obs::FlightRecord::Stream::Journal;
+  r.kind = static_cast<std::uint8_t>(kind);
+  r.set_detail(detail);
+  return r;
+}
+
+TEST(ObsctlAudit, ReportsRunSeedFromMetaStamp) {
+  // Soak/bench clusters stamp the run seed at t=0; violation reports name
+  // the exact schedule through it.
+  obs::FlightRecorder fr(64);
+  fr.enable();
+  fr.absorb(journal_record(0, 0, obs::EventKind::RunMeta, "seed=4217"));
+  obsctl::Analysis analysis;
+  analysis.add_records(fr.records());
+  ASSERT_TRUE(analysis.has_run_seed());
+  EXPECT_EQ(analysis.run_seed(), 4217u);
+
+  obsctl::Analysis bare;
+  bare.add_records(std::vector<obs::FlightRecord>{
+      span_record(10, 3, obs::SpanEvent::ClientSend, 1, 0, "")});
+  EXPECT_FALSE(bare.has_run_seed());
+}
+
+TEST(ObsctlAudit, StateTransferExemptsPartitionedReExecution) {
+  // The paper's partitioned operation: node 1 executed the op tentatively
+  // in a secondary component, resynced (discarding that history), and then
+  // executed the client's retransmit on the merged history. The transfer
+  // between the two executions makes both the duplicate-execution and the
+  // unsuppressed-retry conviction wrong — and without it, both must fire.
+  const auto story = [](bool with_transfer) {
+    std::vector<obs::FlightRecord> recs;
+    recs.push_back(span_record(10, 3, obs::SpanEvent::ClientSend, 1, 0,
+                               "group=ctr op=incr"));
+    recs.push_back(span_record(20, 1, obs::SpanEvent::TotemDeliver, 2, 1,
+                               "carrier=1:7 from=3 target=ctr"));
+    recs.push_back(span_record(21, 1, obs::SpanEvent::ExecStart, 3, 1,
+                               "group=ctr op=incr"));
+    if (with_transfer) {
+      recs.push_back(journal_record(30, 1, obs::EventKind::StateTransferBegin,
+                                    "ctr from node 2"));
+      recs.push_back(journal_record(32, 1, obs::EventKind::StateTransferEnd,
+                                    "ctr 1 ops replayed"));
+    }
+    recs.push_back(span_record(35, 3, obs::SpanEvent::ClientRetransmit, 4, 1,
+                               "group=ctr op=incr"));
+    recs.push_back(span_record(40, 1, obs::SpanEvent::TotemDeliver, 5, 1,
+                               "carrier=2:3 from=3 target=ctr"));
+    recs.push_back(span_record(41, 1, obs::SpanEvent::ExecStart, 6, 1,
+                               "group=ctr op=incr"));
+    recs.push_back(span_record(50, 3, obs::SpanEvent::ReplyDeliver, 7, 3, ""));
+    return recs;
+  };
+
+  obsctl::Analysis exempt;
+  exempt.add_records(story(/*with_transfer=*/true));
+  const auto clean = exempt.audit();
+  for (const auto& v : clean) ADD_FAILURE() << v.str();
+
+  obsctl::Analysis convicted;
+  convicted.add_records(story(/*with_transfer=*/false));
+  const auto violations = convicted.audit();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].check, "duplicate-execution");
+  EXPECT_EQ(violations[1].check, "unsuppressed-retry");
+}
+
+TEST(ObsctlAudit, TransferOnAnotherNodeDoesNotExempt) {
+  // A transfer at a *different* node (or group) explains nothing about this
+  // node's double execution — the conviction must stand.
+  obs::FlightRecorder fr(64);
+  fr.enable();
+  fr.absorb(span_record(10, 3, obs::SpanEvent::ClientSend, 1, 0, ""));
+  fr.absorb(span_record(20, 1, obs::SpanEvent::TotemDeliver, 2, 1,
+                        "carrier=1:7 from=3 target=ctr"));
+  fr.absorb(span_record(21, 1, obs::SpanEvent::ExecStart, 3, 1, ""));
+  fr.absorb(journal_record(25, 2, obs::EventKind::StateTransferEnd,
+                           "ctr 1 ops replayed"));  // node 2, not node 1
+  fr.absorb(span_record(30, 1, obs::SpanEvent::ExecStart, 4, 1, ""));
+  fr.absorb(span_record(40, 3, obs::SpanEvent::ReplyDeliver, 5, 3, ""));
+  obsctl::Analysis analysis;
+  analysis.add_records(fr.records());
+  const auto violations = analysis.audit();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "duplicate-execution");
+}
+
 TEST(ObsctlAudit, CleanSyntheticHistoryPasses) {
   obs::FlightRecorder fr(64);
   fr.enable();

@@ -213,7 +213,7 @@ totem::DataMsg data_msg(std::uint64_t seq, const std::string& group,
   d.ring = totem::RingId{1, 0};
   d.origin = 2;
   d.seq = seq;
-  d.group = group;
+  d.group = totem::group_buf(group);
   d.payload = cdr::WireBuf(payload);
   return d;
 }

@@ -223,6 +223,127 @@ TEST_F(NetFixture, StatsCountTraffic) {
   EXPECT_EQ(net.stats().datagrams_delivered, 4u);
 }
 
+// --- compound-fault interactions -----------------------------------------
+// The soak chaos campaigns compose motifs freely (partition + link block +
+// gray slowdown + loss, overlapping and healing mid-flight); these tests
+// pin the network's composition semantics the campaigns rely on.
+
+TEST_F(NetFixture, HealDuringFlightRestoresDelivery) {
+  // A datagram sent *before* the cut, with the partition forming and
+  // healing while it is in flight, arrives: only the delivery-time check
+  // matters for pre-cut traffic.
+  net.unicast(0, 2, frame({1}));
+  net.set_partitions({{0, 1}, {2, 3}});
+  net.heal_partitions();
+  sim.run();
+  EXPECT_EQ(inbox[2].size(), 1u);
+  // A datagram sent *during* the cut is gone for good — healing before its
+  // nominal delivery time does not resurrect it (it was never sent on the
+  // wire), so retransmission protocols must re-send after a heal.
+  net.set_partitions({{0, 1}, {2, 3}});
+  net.unicast(0, 2, frame({2}));
+  net.heal_partitions();
+  sim.run();
+  EXPECT_EQ(inbox[2].size(), 1u);
+  EXPECT_EQ(net.stats().datagrams_partitioned, 1u);
+}
+
+TEST_F(NetFixture, LossAndPartitionOverlapCountSeparately) {
+  NetParams lossy;
+  lossy.loss_probability = 0.5;
+  net.set_params(lossy);
+  net.set_partitions({{0, 1}, {2, 3}});
+  for (int i = 0; i < 400; ++i) {
+    net.unicast(0, 1, frame({1}));  // same side: subject to loss only
+    net.unicast(0, 2, frame({2}));  // across the cut: partitioned, not lost
+  }
+  sim.run();
+  EXPECT_TRUE(inbox[2].empty());
+  EXPECT_EQ(net.stats().datagrams_partitioned, 400u);
+  EXPECT_GT(inbox[1].size(), 100u);  // loss is per-receiver, ~50%
+  EXPECT_LT(inbox[1].size(), 300u);
+  EXPECT_EQ(inbox[1].size() + net.stats().datagrams_lost, 400u);
+}
+
+TEST_F(NetFixture, RePartitionBeforeHealReplacesComponents) {
+  net.set_partitions({{0, 1}, {2, 3}});
+  // The second cut replaces the first outright: 0/1 split apart, 0/2 join.
+  net.set_partitions({{0, 2}, {1, 3}});
+  EXPECT_TRUE(net.reachable(0, 2));
+  EXPECT_FALSE(net.reachable(0, 1));
+  net.unicast(0, 2, frame({1}));
+  net.unicast(0, 1, frame({2}));
+  sim.run();
+  EXPECT_EQ(inbox[2].size(), 1u);
+  EXPECT_TRUE(inbox[1].empty());
+}
+
+TEST_F(NetFixture, InFlightDatagramDroppedWhenLinkBlockForms) {
+  net.unicast(0, 1, frame({1}));
+  net.block_link(0, 1);  // forms while the datagram is in flight
+  sim.run();
+  EXPECT_TRUE(inbox[1].empty());
+  EXPECT_EQ(net.stats().datagrams_blocked, 1u);
+  // The reverse direction was never blocked.
+  net.unicast(1, 0, frame({2}));
+  sim.run();
+  EXPECT_EQ(inbox[0].size(), 1u);
+}
+
+TEST_F(NetFixture, LinkBlockComposesWithPartitionAndHeal) {
+  net.block_link(0, 1);
+  net.set_partitions({{0, 1}, {2, 3}});
+  net.multicast(0, frame({7}));
+  sim.run();
+  EXPECT_TRUE(inbox[1].empty());  // same side, but the directed block holds
+  EXPECT_TRUE(inbox[2].empty());  // other side of the cut
+  EXPECT_EQ(net.stats().datagrams_blocked, 1u);
+  EXPECT_EQ(net.stats().datagrams_partitioned, 2u);
+  // heal_partitions is the campaign's full-connectivity restore: it clears
+  // directed blocks along with the partition oracle.
+  net.heal_partitions();
+  net.multicast(0, frame({8}));
+  sim.run();
+  EXPECT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[2].size(), 1u);
+  EXPECT_EQ(inbox[3].size(), 1u);
+}
+
+TEST_F(NetFixture, CrashInsideMinorityThenRecoverAfterHeal) {
+  net.set_partitions({{0, 1}, {2, 3}});
+  net.crash(2);
+  net.heal_partitions();
+  net.unicast(0, 2, frame({1}));
+  sim.run();
+  EXPECT_TRUE(inbox[2].empty());  // healed cut, node still down
+  net.recover(2);
+  net.unicast(0, 2, frame({2}));
+  sim.run();
+  ASSERT_EQ(inbox[2].size(), 1u);
+  EXPECT_EQ(inbox[2][0].second, (Bytes{2}));
+}
+
+TEST_F(NetFixture, SlowdownDelaysThroughPartitionHeal) {
+  NetParams quiet;
+  quiet.jitter = 0;
+  net.set_params(quiet);
+  net.set_slowdown(1, {1.0, 5000});  // gray node: +5ms on every datagram
+  net.unicast(0, 1, frame({1}));
+  // The cut forms and heals while the delayed datagram is in flight; the
+  // gray delay must not strand it past the delivery-time check.
+  net.set_partitions({{0, 1}, {2, 3}});
+  net.heal_partitions();
+  sim.run();
+  ASSERT_EQ(inbox[1].size(), 1u);
+  EXPECT_GE(sim.now(), quiet.base_latency + 5000);
+  // clear_slowdowns restores nominal transit for subsequent traffic.
+  net.clear_slowdowns();
+  const Time healed_at = sim.now();
+  net.unicast(0, 1, frame({2}));
+  sim.run();
+  EXPECT_EQ(sim.now() - healed_at, quiet.base_latency);
+}
+
 TEST(FaultPlan, ScriptedActionsApplyAtTime) {
   Simulation sim;
   Network net(sim, 3);

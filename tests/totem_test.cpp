@@ -245,6 +245,33 @@ TEST(TotemPartition, RemergeFormsJointRing) {
   }
 }
 
+TEST(TotemPartition, FlappingPartitionReconvergesAfterFinalHeal) {
+  // The soak campaigns' worst membership customer: the same cut applied and
+  // healed repeatedly, each cycle short enough that ring formation from the
+  // previous flap may still be in progress. The protocol must neither wedge
+  // nor split-brain — after the final heal, one joint ring re-forms and
+  // ordered delivery works cluster-wide.
+  Cluster c(5);
+  ASSERT_TRUE(c.converge());
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    c.net.set_partitions({{0, 1, 2}, {3, 4}});
+    c.sim.run_for(300 * kMillisecond);  // mid-reformation on some cycles
+    c.net.heal_partitions();
+    c.sim.run_for(300 * kMillisecond);
+  }
+  ASSERT_TRUE(c.converge(10 * kSecond));
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.fabric.node(i).members(),
+              (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  }
+  c.fabric.group(1).send("g", bytes("post-flap"));
+  c.sim.run_for(kSecond);
+  for (NodeId i = 0; i < 5; ++i) {
+    ASSERT_FALSE(c.delivered[i].empty()) << "node " << i;
+    EXPECT_EQ(str(c.delivered[i].back().payload), "post-flap");
+  }
+}
+
 TEST(TotemPartition, DivergentHistoriesRemainLocallyOrdered) {
   Cluster c(4);
   ASSERT_TRUE(c.converge());

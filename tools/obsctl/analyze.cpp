@@ -102,6 +102,20 @@ void Analysis::finalize() {
   std::map<OpKey, OpTimeline> ops;
 
   for (const FlightRecord& r : records_) {
+    if (r.stream == FlightRecord::Stream::Journal &&
+        r.journal_kind() == obs::EventKind::RunMeta && !has_seed_) {
+      const std::string detail = r.detail_str();
+      const auto pos = detail.find("seed=");
+      if (pos != std::string::npos) {
+        char* endp = nullptr;
+        const char* p = detail.c_str() + pos + 5;
+        const std::uint64_t s = std::strtoull(p, &endp, 10);
+        if (endp != p) {
+          has_seed_ = true;
+          seed_ = s;
+        }
+      }
+    }
     if (r.stream != FlightRecord::Stream::Span) continue;
     if (!r.op.valid()) {
       if (r.span_event() == obs::SpanEvent::TokenVisitSend &&
@@ -131,6 +145,13 @@ void Analysis::finalize() {
         if (t.first_deliver == 0 || r.time < t.first_deliver) {
           t.first_deliver = r.time;
         }
+        auto [dit, dnew] = t.first_deliver_at.try_emplace(r.node, r.time);
+        if (!dnew) dit->second = std::min(dit->second, r.time);
+        if (t.group.empty()) {
+          const std::string detail = r.detail_str();
+          const auto pos = detail.find("target=");
+          if (pos != std::string::npos) t.group = detail.substr(pos + 7);
+        }
         std::uint64_t epoch = 0, seq = 0;
         if (t.carrier_seq == 0 &&
             parse_carrier(r.detail_str(), epoch, seq)) {
@@ -139,9 +160,16 @@ void Analysis::finalize() {
         }
         break;
       }
-      case obs::SpanEvent::ExecStart:
+      case obs::SpanEvent::ExecStart: {
         ++t.exec_starts[r.node];
+        auto [eit, enew] =
+            t.exec_span.try_emplace(r.node, std::make_pair(r.time, r.time));
+        if (!enew) {
+          eit->second.first = std::min(eit->second.first, r.time);
+          eit->second.second = std::max(eit->second.second, r.time);
+        }
         break;
+      }
       case obs::SpanEvent::ReplyDeliver:
         if (t.reply_deliver == 0 || r.time < t.reply_deliver) {
           t.reply_deliver = r.time;
@@ -155,6 +183,12 @@ void Analysis::finalize() {
         break;
       case obs::SpanEvent::FailoverRetry:
         t.failover_retry = true;
+        break;
+      case obs::SpanEvent::ReadSkipped:
+        ++t.read_skips;
+        break;
+      case obs::SpanEvent::ResyncDeferred:
+        ++t.resync_defers;
         break;
       default:
         break;
@@ -227,6 +261,8 @@ std::string Analysis::timeline_report() {
     os << '}';
     if (t.retransmits) os << " retrans=" << t.retransmits;
     if (t.suppressions) os << " suppressed=" << t.suppressions;
+    if (t.read_skips) os << " read-skips=" << t.read_skips;
+    if (t.resync_defers) os << " resync-defers=" << t.resync_defers;
     if (t.failover_retry) os << " failover-retry";
     os << '\n';
   }
@@ -267,6 +303,33 @@ std::vector<AuditViolation> Analysis::audit() {
   finalize();
   std::vector<AuditViolation> out;
 
+  // State-transfer moments per (group, node): a replica that resynced
+  // discarded whatever tentative history it held (the paper's partitioned
+  // operation), so executions and deliveries on opposite sides of a
+  // transfer belong to different state lineages and must not be judged as
+  // one. Spawned replicas likewise bootstrap through a transfer.
+  std::map<std::pair<std::string, std::uint32_t>, std::vector<std::uint64_t>>
+      transfers;
+  for (const FlightRecord& r : records_) {
+    if (r.stream != FlightRecord::Stream::Journal) continue;
+    if (r.journal_kind() != obs::EventKind::StateTransferBegin &&
+        r.journal_kind() != obs::EventKind::StateTransferEnd) {
+      continue;
+    }
+    transfers[{first_token(r.detail_str()), r.node}].push_back(r.time);
+  }
+  const auto transfer_between = [&transfers](const std::string& group,
+                                             std::uint32_t node,
+                                             std::uint64_t lo,
+                                             std::uint64_t hi) {
+    auto it = transfers.find({group, node});
+    if (it == transfers.end()) return false;
+    for (std::uint64_t tt : it->second) {
+      if (tt >= lo && tt <= hi) return true;
+    }
+    return false;
+  };
+
   for (const OpTimeline& t : timelines_) {
     // Every invoked operation completes: a recorded client send must have a
     // recorded reply delivery (exactly-once includes at-least-once).
@@ -276,8 +339,18 @@ std::vector<AuditViolation> Analysis::audit() {
                          " was invoked but no reply delivery was recorded"});
     }
     // ...and at-most-once: no node may start executing one operation twice.
+    // A repeat separated by a state transfer at that node is a partitioned
+    // operation, not a violation: the first run was tentative in a secondary
+    // component and the resync discarded it before the merged history
+    // re-executed.
     for (const auto& [node, count] : t.exec_starts) {
       if (count > 1) {
+        const auto span_it = t.exec_span.find(node);
+        if (span_it != t.exec_span.end() &&
+            transfer_between(t.group, node, span_it->second.first,
+                             span_it->second.second)) {
+          continue;
+        }
         out.push_back({"duplicate-execution",
                        "operation " + t.op.str() + " started executing " +
                            std::to_string(count) + " times on node " +
@@ -286,11 +359,27 @@ std::vector<AuditViolation> Analysis::audit() {
     }
     // Every retry maps to a suppressed duplicate: when a retransmitted
     // operation was visibly delivered more than once at an executing node,
-    // some duplicate-suppression record must explain why it ran once.
-    if (t.retransmits > 0 && t.suppressions == 0) {
+    // some duplicate-suppression record must explain why it ran once. A
+    // passive backup's deliberate skip of a read-only delivery counts — it
+    // explains the extra delivery at a node that later executed as primary —
+    // as does an unsynced replica's deferral of a delivery it never acted on.
+    // A state transfer between a node's earliest delivery and its last
+    // execution also explains an unmatched extra delivery: the node received
+    // the first copy before it was synced (or before its replica existed),
+    // and only the post-transfer lineage acted on the retry.
+    if (t.retransmits > 0 && t.suppressions == 0 && t.read_skips == 0 &&
+        t.resync_defers == 0) {
       for (const auto& [node, count] : t.exec_starts) {
         if (count > 0 && t.deliver_counts.count(node) &&
             t.deliver_counts.at(node) >= 2) {
+          const auto span_it = t.exec_span.find(node);
+          const auto del_it = t.first_deliver_at.find(node);
+          if (span_it != t.exec_span.end() &&
+              del_it != t.first_deliver_at.end() &&
+              transfer_between(t.group, node, del_it->second,
+                               span_it->second.second)) {
+            continue;
+          }
           out.push_back(
               {"unsuppressed-retry",
                "operation " + t.op.str() + " was retransmitted and node " +
@@ -362,6 +451,14 @@ std::vector<AuditViolation> Analysis::audit() {
       out.push_back({"divergence-inconsistent",
                      "group " + group +
                          ": nodes convicted different reports: " + summary});
+    }
+  }
+
+  // Stamp every violation with the run seed so a soak failure is
+  // self-describing: the report alone names the schedule to replay.
+  if (has_seed_) {
+    for (AuditViolation& v : out) {
+      v.detail = "[seed " + std::to_string(seed_) + "] " + v.detail;
     }
   }
 

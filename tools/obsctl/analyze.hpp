@@ -46,9 +46,17 @@ struct OpTimeline {
 
   std::size_t retransmits = 0;
   std::size_t suppressions = 0;  // duplicate-suppression records, any kind
+  std::size_t read_skips = 0;    // passive backups ignoring a read-only op
+  std::size_t resync_defers = 0; // unsynced replicas buffering a delivery
   bool failover_retry = false;
+  std::string group;  // target group (parsed from delivery/exec details)
   std::map<std::uint32_t, std::size_t> exec_starts;     // node -> count
+  /// node -> (earliest, latest) ExecStart time — the audit exempts repeat
+  /// executions separated by a state transfer at that node (a tentative
+  /// secondary-component execution discarded by the resync).
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> exec_span;
   std::map<std::uint32_t, std::size_t> deliver_counts;  // node -> count
+  std::map<std::uint32_t, std::uint64_t> first_deliver_at;  // node -> time
 
   std::vector<FlightRecord> records;  // this op's records, time-sorted
 };
@@ -68,6 +76,15 @@ class Analysis {
 
   std::size_t files() const noexcept { return files_; }
   std::size_t record_count() const noexcept { return records_.size(); }
+  const std::vector<FlightRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// The run seed parsed from the RunMeta journal stamp ("seed=N"), if the
+  /// dumps carried one. Soak/bench clusters emit it at t=0, so violation
+  /// reports can name the exact schedule that produced them.
+  bool has_run_seed() { finalize(); return has_seed_; }
+  std::uint64_t run_seed() { finalize(); return seed_; }
 
   /// Per-operation lifecycles, sorted on the total order (operations never
   /// seen in a TotemDeliver sort after the ordered ones, by first record).
@@ -85,6 +102,8 @@ class Analysis {
 
   std::size_t files_ = 0;
   bool finalized_ = false;
+  bool has_seed_ = false;
+  std::uint64_t seed_ = 0;
   std::vector<FlightRecord> records_;
   std::vector<OpTimeline> timelines_;
 };

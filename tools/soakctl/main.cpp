@@ -1,0 +1,239 @@
+// soakctl — seed-swept chaos soak campaigns from the command line.
+//
+//   soakctl run   --seed N [options]     one schedule; exit 1 on violation
+//   soakctl sweep --seeds A..B [options] many schedules; exit 1 if any fails
+//   soakctl plan  --seed N [options]     print the drawn campaign, don't run
+//
+// Options (defaults in brackets):
+//   --nodes N       cluster size [7]
+//   --groups N      object groups [3]
+//   --replicas N    initial replicas per group [3]
+//   --clients N     open-loop client slots [3]
+//   --rate R        total offered load, ops/sec [200]
+//   --time-ms T     workload+campaign window, simulated ms [2000]
+//   --motifs N      fault motifs per campaign [3]
+//   --churn-ms T    mean client churn toggle interval, 0=off [0]
+//   --no-style-mix  all groups active (default cycles in warm-passive)
+//   --fault-free    draw but never start the campaign (baseline)
+//   --inject-duplicate  forge a duplicate ExecStart before the audit
+//   --dump-dir DIR  write flight-recorder dumps of violating runs here
+//
+// Every violating schedule prints its exact one-line repro command; running
+// that command replays the schedule bit-identically (same seed, same
+// workload draws, same campaign).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "soak/runner.hpp"
+
+namespace {
+
+using eternal::soak::ChaosPlan;
+using eternal::soak::SoakConfig;
+using eternal::soak::SoakResult;
+using eternal::soak::SoakRunner;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: soakctl run --seed N [options]\n"
+      "       soakctl sweep --seeds A..B [options]\n"
+      "       soakctl plan --seed N [options]\n"
+      "options: --nodes N --groups N --replicas N --clients N --rate R\n"
+      "         --time-ms T --motifs N --churn-ms T --no-style-mix\n"
+      "         --fault-free --inject-duplicate --dump-dir DIR\n");
+  return 2;
+}
+
+struct Cli {
+  SoakConfig cfg;
+  std::uint64_t seed = 1;
+  std::uint64_t sweep_first = 1;
+  std::uint64_t sweep_count = 0;
+  bool have_seed = false;
+  bool have_sweep = false;
+};
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+/// "A..B" inclusive.
+bool parse_range(const char* s, std::uint64_t& first, std::uint64_t& count) {
+  const char* dots = std::strstr(s, "..");
+  if (!dots) return false;
+  const std::string a(s, dots);
+  std::uint64_t lo = 0, hi = 0;
+  if (!parse_u64(a.c_str(), lo) || !parse_u64(dots + 2, hi) || hi < lo) {
+    return false;
+  }
+  first = lo;
+  count = hi - lo + 1;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Cli& cli) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t v = 0;
+    if (arg == "--seed") {
+      const char* n = next();
+      if (!n || !parse_u64(n, cli.seed)) return false;
+      cli.have_seed = true;
+    } else if (arg == "--seeds") {
+      const char* n = next();
+      if (!n || !parse_range(n, cli.sweep_first, cli.sweep_count)) {
+        return false;
+      }
+      cli.have_sweep = true;
+    } else if (arg == "--nodes") {
+      const char* n = next();
+      if (!n || !parse_u64(n, v) || v < 2) return false;
+      cli.cfg.nodes = v;
+    } else if (arg == "--groups") {
+      const char* n = next();
+      if (!n || !parse_u64(n, v) || v == 0) return false;
+      cli.cfg.groups = v;
+    } else if (arg == "--replicas") {
+      const char* n = next();
+      if (!n || !parse_u64(n, v) || v == 0) return false;
+      cli.cfg.replicas = static_cast<std::uint32_t>(v);
+    } else if (arg == "--clients") {
+      const char* n = next();
+      if (!n || !parse_u64(n, v) || v == 0) return false;
+      cli.cfg.workload.clients = v;
+    } else if (arg == "--rate") {
+      const char* n = next();
+      if (!n) return false;
+      cli.cfg.workload.offered_rate = std::atof(n);
+      if (cli.cfg.workload.offered_rate <= 0) return false;
+    } else if (arg == "--time-ms") {
+      const char* n = next();
+      if (!n || !parse_u64(n, v) || v == 0) return false;
+      cli.cfg.run_time = v * eternal::sim::kMillisecond;
+    } else if (arg == "--motifs") {
+      const char* n = next();
+      if (!n || !parse_u64(n, v)) return false;
+      cli.cfg.chaos.motifs = v;
+    } else if (arg == "--churn-ms") {
+      const char* n = next();
+      if (!n || !parse_u64(n, v)) return false;
+      cli.cfg.workload.churn_interval = v * eternal::sim::kMillisecond;
+    } else if (arg == "--no-style-mix") {
+      cli.cfg.mix_styles = false;
+    } else if (arg == "--fault-free") {
+      cli.cfg.fault_free = true;
+    } else if (arg == "--inject-duplicate") {
+      cli.cfg.inject_duplicate = true;
+    } else if (arg == "--dump-dir") {
+      const char* n = next();
+      if (!n) return false;
+      cli.cfg.dump_dir = n;
+    } else {
+      std::fprintf(stderr, "soakctl: unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  // The chaos window tracks the run: onset after an initial calm, every
+  // motif reverted with recovery margin before the drain begins.
+  cli.cfg.chaos.start = cli.cfg.run_time / 10;
+  cli.cfg.chaos.duration = cli.cfg.run_time * 7 / 10;
+  return true;
+}
+
+void print_violations(const SoakResult& r) {
+  for (const std::string& v : r.violations) {
+    std::printf("  violation: %s\n", v.c_str());
+  }
+  if (!r.dump_path.empty()) {
+    std::printf("  dump: %s\n", r.dump_path.c_str());
+  }
+  std::printf("  repro: %s\n", r.repro.c_str());
+}
+
+int cmd_run(const Cli& cli) {
+  SoakRunner runner(cli.cfg);
+  const SoakResult r = runner.run(cli.seed);
+  std::printf("%s\n", r.summary().c_str());
+  if (!r.clean) print_violations(r);
+  return r.clean ? 0 : 1;
+}
+
+int cmd_sweep(const Cli& cli) {
+  SoakRunner runner(cli.cfg);
+  std::size_t failed = 0;
+  std::vector<SoakResult> bad;
+  runner.sweep(cli.sweep_first, cli.sweep_count,
+               [&](const SoakResult& r) {
+                 std::printf("%s\n", r.summary().c_str());
+                 std::fflush(stdout);
+                 if (!r.clean) {
+                   ++failed;
+                   bad.push_back(r);
+                 }
+               });
+  std::printf("sweep: %llu schedule(s), %zu violation(s)\n",
+              static_cast<unsigned long long>(cli.sweep_count), failed);
+  for (const SoakResult& r : bad) {
+    std::printf("failed seed %llu:\n",
+                static_cast<unsigned long long>(r.seed));
+    print_violations(r);
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_plan(const Cli& cli) {
+  // Build the cluster far enough to draw the deterministic schedule, but
+  // run nothing: this is campaign introspection for debugging seeds.
+  eternal::obs::Registry::global().reset();
+  eternal::sim::Simulation sim(cli.seed);
+  eternal::sim::Network net(sim, cli.cfg.nodes);
+  eternal::totem::Fabric fabric(sim, net);
+  eternal::rep::Domain domain(fabric);
+  std::vector<eternal::sim::NodeId> clients;
+  for (std::size_t i = 0;
+       i < std::min(cli.cfg.workload.clients, cli.cfg.nodes); ++i) {
+    clients.push_back(static_cast<eternal::sim::NodeId>(i));
+  }
+  ChaosPlan plan(domain, cli.cfg.chaos, clients, cli.seed);
+  std::printf("campaign for seed %llu (%zu motif(s), window %llums+%llums):\n",
+              static_cast<unsigned long long>(cli.seed), plan.motif_count(),
+              static_cast<unsigned long long>(cli.cfg.chaos.start /
+                                              eternal::sim::kMillisecond),
+              static_cast<unsigned long long>(cli.cfg.chaos.duration /
+                                              eternal::sim::kMillisecond));
+  std::printf("%s", plan.describe().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Cli cli;
+  if (!parse_args(argc, argv, cli)) return usage();
+  if (cmd == "run") {
+    if (!cli.have_seed) return usage();
+    return cmd_run(cli);
+  }
+  if (cmd == "sweep") {
+    if (!cli.have_sweep) return usage();
+    return cmd_sweep(cli);
+  }
+  if (cmd == "plan") {
+    if (!cli.have_seed) return usage();
+    return cmd_plan(cli);
+  }
+  return usage();
+}
