@@ -1,0 +1,97 @@
+// Write-ahead operation journal + checkpoint store over one sim::Disk.
+//
+// The journal is a single append-only file ("journal") of framed
+// JournalRecords. Appends buffer in the disk's unsynced tail; `sync`
+// extends the durable prefix (group commit — the engine's sync timer calls
+// it periodically, so a crash loses at most one sync interval of tail:
+// the documented durability window). `scan` walks the file frame by frame
+// and stops cleanly at the first truncated or CRC-corrupt frame, returning
+// the intact prefix plus forensic stats. `compact` rewrites the file
+// keeping only records at or above a threshold *absolute index* — record
+// indices are stored inside each record, so positions referenced by
+// checkpoints stay valid across compaction.
+//
+// The checkpoint store keeps the two newest checkpoints per group as
+// atomic files ("ckpt-<group>-<version padded>"): the newest is what
+// recovery loads, the previous is the fallback when the newest fails its
+// CRC — the "missing newest checkpoint" corruption class.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dur/record.hpp"
+#include "sim/disk.hpp"
+
+namespace eternal::dur {
+
+struct ScanResult {
+  std::vector<JournalRecord> records;  // intact prefix, file order
+  std::size_t bytes_scanned = 0;       // bytes covered by intact frames
+  std::size_t tail_lost_bytes = 0;     // bytes past the last intact frame
+  bool clean = true;                   // false = scan stopped mid-file
+};
+
+class Journal {
+ public:
+  explicit Journal(sim::Disk& disk, std::string file = "journal");
+
+  /// Re-derive the append index from the on-disk tail (after recovery or
+  /// construction over an existing file).
+  void open();
+
+  /// Frame and append one record; assigns the next absolute index into
+  /// `rec.index`. Returns false (journal broken) when the disk is full.
+  bool append(JournalRecord& rec);
+  void sync();
+
+  ScanResult scan() const;
+  /// Drop all records with index < keep_from (rewrites the file; already-
+  /// durable suffix stays durable). Returns bytes reclaimed.
+  std::size_t compact(std::uint64_t keep_from);
+
+  std::uint64_t next_index() const noexcept { return next_index_; }
+  bool broken() const noexcept { return broken_; }
+  const std::string& file() const noexcept { return file_; }
+
+ private:
+  sim::Disk& disk_;
+  std::string file_;
+  std::uint64_t next_index_ = 0;
+  bool broken_ = false;  // disk-full hit: stop appending, keep serving
+  Bytes scratch_;        // reusable frame-encode buffer
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(sim::Disk& disk);
+
+  /// Persist atomically and retire all but the two newest versions for
+  /// the group. Returns false when the disk is full.
+  bool save(const CheckpointRecord& rec);
+
+  /// Newest checkpoint for `group` that passes its CRC; falls back to the
+  /// previous one (bumping `*fallbacks`) when the newest is corrupt.
+  std::optional<CheckpointRecord> load_newest(const std::string& group,
+                                              std::size_t* fallbacks) const;
+
+  /// Groups that have at least one stored checkpoint.
+  std::vector<std::string> groups() const;
+
+  /// Per group, the journal position of the *older* retained checkpoint
+  /// (0 when only one exists) — the journal may be compacted to the
+  /// minimum of these without losing any fallback replay.
+  std::map<std::string, std::uint64_t> safe_positions() const;
+
+ private:
+  static std::string file_name(const std::string& group,
+                               std::uint64_t version);
+  std::optional<CheckpointRecord> load_file(const std::string& name) const;
+
+  sim::Disk& disk_;
+};
+
+}  // namespace eternal::dur

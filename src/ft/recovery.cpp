@@ -1,0 +1,52 @@
+#include "ft/recovery.hpp"
+
+namespace eternal::ft {
+
+DurabilityPlane::DurabilityPlane(rep::Domain& domain, sim::DiskFarm& farm,
+                                 dur::DurParams params)
+    : domain_(domain), farm_(farm), params_(params) {
+  nodes_.resize(domain_.size());
+}
+
+DurabilityPlane::~DurabilityPlane() {
+  // The engines outlive the plane in most harnesses; never leave them a
+  // dangling durability pointer.
+  for (sim::NodeId n = 0; n < domain_.size(); ++n) {
+    if (nodes_[n]) domain_.engine(n).set_durability(nullptr);
+  }
+}
+
+void DurabilityPlane::attach_all() {
+  for (sim::NodeId n = 0; n < domain_.size(); ++n) {
+    nodes_[n] = std::make_unique<dur::NodeDurability>(
+        domain_.simulation(), farm_.disk(n), n, params_);
+    nodes_[n]->journal().open();
+    domain_.engine(n).set_durability(nodes_[n].get());
+    nodes_[n]->start();
+  }
+}
+
+void DurabilityPlane::crash(sim::NodeId n, bool torn) {
+  if (!nodes_.at(n)) return;
+  domain_.engine(n).set_durability(nullptr);
+  nodes_[n]->on_crash(torn);
+}
+
+void DurabilityPlane::crash_all(bool torn) {
+  for (sim::NodeId n = 0; n < nodes_.size(); ++n) crash(n, torn);
+}
+
+void DurabilityPlane::sync_all() {
+  for (auto& d : nodes_) {
+    if (d) d->sync_now();
+  }
+}
+
+dur::NodeDurability& DurabilityPlane::recreate(sim::NodeId n) {
+  domain_.engine(n).set_durability(nullptr);
+  nodes_.at(n) = std::make_unique<dur::NodeDurability>(
+      domain_.simulation(), farm_.disk(n), n, params_);
+  return *nodes_[n];
+}
+
+}  // namespace eternal::ft

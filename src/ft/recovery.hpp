@@ -1,0 +1,69 @@
+// Domain durability plane: the cluster-level face of src/dur.
+//
+// Owns one NodeDurability per processor — per *life*: a crash retires the
+// instance and recovery constructs a fresh one over the same simulated
+// disk, exactly as a restarted process reopens its files. The plane wires
+// each manager into its node's replication engine (journal-on-delivery,
+// checkpoint cuts) and exposes the fault-injection surface the chaos
+// harness drives: power-cut one node's durable view, or the whole farm's.
+//
+// The orchestration of disaster recovery itself — rebuilding engines from
+// the durable state and replaying the tape — lives on the
+// ReplicationManager (recover_node / recover_domain), which knows the
+// replica factories; see replication_manager.hpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dur/durability.hpp"
+#include "rep/domain.hpp"
+#include "sim/disk.hpp"
+
+namespace eternal::ft {
+
+class DurabilityPlane {
+ public:
+  DurabilityPlane(rep::Domain& domain, sim::DiskFarm& farm,
+                  dur::DurParams params = {});
+  ~DurabilityPlane();
+
+  DurabilityPlane(const DurabilityPlane&) = delete;
+  DurabilityPlane& operator=(const DurabilityPlane&) = delete;
+
+  const dur::DurParams& params() const noexcept { return params_; }
+  sim::DiskFarm& farm() noexcept { return farm_; }
+  rep::Domain& domain() noexcept { return domain_; }
+  dur::NodeDurability& at(sim::NodeId n) { return *nodes_.at(n); }
+  bool attached(sim::NodeId n) const {
+    return n < nodes_.size() && nodes_[n] != nullptr;
+  }
+
+  /// Attach a fresh manager to every engine and arm the group-commit
+  /// timers. Journals open at the tail of whatever the disks hold, so
+  /// this also serves a cold start over a farm loaded from a dump.
+  void attach_all();
+
+  /// Power-cut one node's durable view: detach the engine hook, cancel
+  /// the sync timer, drop the disk's unsynced tail (`torn` leaves a
+  /// partial mid-record prefix behind). Pair with fabric().crash(n).
+  void crash(sim::NodeId n, bool torn);
+  /// Whole-domain power cut: every node loses its unsynced tail at once.
+  void crash_all(bool torn);
+
+  /// Make every node's journal tail + meta file durable now (orderly
+  /// shutdown, or a test pinning the durability window shut).
+  void sync_all();
+
+  /// Fresh per-life manager over the same disk, detached from the engine;
+  /// ReplicationManager::recover_node attaches it after recover().
+  dur::NodeDurability& recreate(sim::NodeId n);
+
+ private:
+  rep::Domain& domain_;
+  sim::DiskFarm& farm_;
+  dur::DurParams params_;
+  std::vector<std::unique_ptr<dur::NodeDurability>> nodes_;
+};
+
+}  // namespace eternal::ft

@@ -26,12 +26,15 @@
 #include <string>
 #include <vector>
 
+#include "dur/durability.hpp"
 #include "ft/fault_notifier.hpp"
 #include "ft/properties.hpp"
 #include "obs/metrics.hpp"
 #include "rep/domain.hpp"
 
 namespace eternal::ft {
+
+class DurabilityPlane;
 
 /// One profile of an interoperable object group reference: where a replica
 /// lives and the key that reaches it.
@@ -103,6 +106,22 @@ class ReplicationManager {
   /// Replicas spawned automatically to restore MinimumNumberReplicas.
   std::uint64_t replicas_spawned() const { return replicas_spawned_.value(); }
 
+  // --- disaster recovery (src/dur + ft/recovery.hpp) --------------------
+  /// Attach the durability plane recover_node/recover_domain rebuild from.
+  void set_durability_plane(DurabilityPlane* plane) { plane_ = plane; }
+
+  /// Rebuild one processor from its durable journal + checkpoints: restart
+  /// the protocol stack with the persisted epoch floor, re-host every
+  /// recovered group already synced, replay the journal suffix through the
+  /// normal execution path, and re-arm durability for the new life. The
+  /// factories registered with this manager supply the replica shells.
+  dur::RecoveryStats recover_node(sim::NodeId node);
+
+  /// Whole-domain disaster recovery: cold-restart every processor from
+  /// disk (the total-order journals make the survivors consistent), then
+  /// announce DOMAIN_RECOVERED through the FaultNotifier.
+  dur::RecoveryStats recover_domain();
+
  private:
   struct ManagedGroup {
     std::string name;
@@ -132,6 +151,7 @@ class ReplicationManager {
   PropertyManager properties_;
   std::map<std::string, ManagedGroup> groups_;
   obs::Counter& replicas_spawned_;  // `rm.replicas_spawned` in the registry
+  DurabilityPlane* plane_ = nullptr;
 };
 
 }  // namespace eternal::ft

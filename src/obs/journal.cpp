@@ -26,6 +26,11 @@ const char* to_string(EventKind k) {
     case EventKind::MemberRemoved: return "member_removed";
     case EventKind::DivergenceDetected: return "divergence_detected";
     case EventKind::RunMeta: return "run_meta";
+    case EventKind::CheckpointCut: return "checkpoint_cut";
+    case EventKind::RecoveryBegin: return "recovery_begin";
+    case EventKind::RecoveryLoaded: return "recovery_loaded";
+    case EventKind::RecoveryEnd: return "recovery_end";
+    case EventKind::DomainRecovered: return "domain_recovered";
   }
   return "?";
 }

@@ -39,6 +39,13 @@ enum class EventKind : std::uint8_t {
   DivergenceDetected,   // oracle: replica state digests disagreed at an op
   RunMeta,              // run metadata stamp ("seed=N ..."), emitted once at
                         // start so dumps are self-describing for obsctl
+  CheckpointCut,        // durable group checkpoint cut on the total order
+  RecoveryBegin,        // node started rebuilding a group from disk
+  RecoveryLoaded,       // checkpoint applied; detail carries the digest
+                        // check ("... mismatch ..." = divergence from the
+                        // pre-crash cut)
+  RecoveryEnd,          // journal suffix replayed; group live again
+  DomainRecovered,      // RM finished whole-domain disaster recovery
 };
 
 const char* to_string(EventKind k);

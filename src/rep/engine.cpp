@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "dur/durability.hpp"
 #include "obs/journal.hpp"
 
 namespace eternal::rep {
@@ -198,6 +199,9 @@ Client& Engine::client() {
   if (!client_) {
     client_ = std::make_unique<Client>(
         *this, "client." + std::to_string(groups_.id()));
+    // Recovery floor: never reuse an op identifier the pre-crash life
+    // could have issued (client retries must stay exactly-once).
+    if (client_op_floor_ != 0) client_->seed_next_op(client_op_floor_);
   }
   return *client_;
 }
@@ -245,6 +249,144 @@ void Engine::reset_after_crash() {
   }
   pending_response_sends_.clear();
   client_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Durability & disaster recovery
+// ---------------------------------------------------------------------------
+
+void Engine::set_durability(dur::NodeDurability* d) {
+  durability_ = d;
+  if (!d) return;
+  d->set_meta_provider([this] {
+    dur::MetaSnapshot m;
+    m.max_epoch = groups_.node().max_epoch_seen();
+    m.client_next_op = client_ ? client_->next_op() : client_op_floor_;
+    return m;
+  });
+}
+
+void Engine::begin_recovery() {
+  recovering_ = true;
+  recovery_replayed_ = 0;
+  recovery_pending_sends_.clear();
+}
+
+void Engine::host_recovered(const GroupConfig& cfg,
+                            std::shared_ptr<Replica> replica,
+                            const dur::RecoveredGroup& rec) {
+  auto [it, inserted] = local_.emplace(cfg.name, LocalGroup{});
+  LocalGroup& g = it->second;
+  g.cfg = cfg;
+  g.replica = std::move(replica);
+  groups_.join(cfg.name);
+  g.sync = SyncState::Synced;
+  g.had_state = true;
+  g.recovered = true;
+  // A whole-domain restart begins as its own primary component: the
+  // durable tape *is* the authoritative lineage.
+  g.primary_component = true;
+  journal(obs::EventKind::RecoveryBegin, g.cfg.name,
+          rec.has_checkpoint
+              ? "checkpoint version=" + std::to_string(rec.state_version) +
+                    " replay_from=" + std::to_string(rec.position)
+              : "no checkpoint, full replay");
+  std::uint64_t got = 0;
+  bool ok = true;
+  if (rec.has_checkpoint) {
+    apply_checkpoint(g, rec.blob);
+    g.last_checkpoint_version = g.state_version;
+    got = digest_state(*g.replica, g.state_version);
+    ok = g.state_version == rec.state_version && got == rec.digest;
+  } else {
+    got = digest_state(*g.replica, 0);
+  }
+  // The checkpointed synced set names pre-crash members; this life's set
+  // is rebuilt from ordered marks (finish_recovery broadcasts ours).
+  g.synced_set.clear();
+  g.synced_set.insert(id());
+  journal(obs::EventKind::RecoveryLoaded, g.cfg.name,
+          "version=" + std::to_string(g.state_version) +
+              " digest=" + std::to_string(got) +
+              (rec.has_checkpoint ? "" : " bootstrap") +
+              (ok ? ""
+                  : " mismatch expected=" + std::to_string(rec.digest) +
+                        "@" + std::to_string(rec.state_version)));
+}
+
+void Engine::replay_journal_record(const dur::JournalRecord& rec) {
+  try {
+    decode_envelope_into(rx_env_, cdr::WireBuf(rec.payload));
+  } catch (const cdr::MarshalError&) {
+    return;  // framed-but-garbage payload: skip, the tape is append-only
+  }
+  ++recovery_replayed_;
+  route(rx_env_, rec.carrier, rec.sender);
+}
+
+void Engine::finish_recovery() {
+  recovering_ = false;
+  // Re-issue nested invocations whose replies never made the durable
+  // tape: the parent execution is still suspended on them. Everything
+  // else the replay captured already had its effect pre-crash.
+  std::vector<Envelope> pending = std::move(recovery_pending_sends_);
+  recovery_pending_sends_.clear();
+  for (Envelope& env : pending) {
+    const auto git = expected_replies_.find(env.reply_group);
+    if (git == expected_replies_.end() || !git->second.count(env.op_id)) {
+      continue;  // reply arrived on the tape; the future resolved
+    }
+    std::uint32_t rank = 0;
+    if (auto lit = local_.find(env.reply_group); lit != local_.end()) {
+      rank = my_rank(lit->second);
+    }
+    send_invocation(std::move(env), rank);
+  }
+  for (auto& [name, g] : local_) {
+    if (!g.recovered) continue;
+    journal(obs::EventKind::RecoveryEnd, name,
+            "version=" + std::to_string(g.state_version) +
+                " replayed=" + std::to_string(recovery_replayed_));
+    // Announce on the first post-recovery ring; version-carrying marks
+    // also let a sibling that recovered a shorter durable prefix detect
+    // its staleness and resync from us.
+    broadcast_synced_mark(g);
+  }
+}
+
+void Engine::maybe_cut_checkpoint(LocalGroup& g) {
+  if (!durability_ || recovering_ || g.sync != SyncState::Synced) return;
+  const std::uint64_t interval = durability_->checkpoint_interval();
+  if (interval == 0) return;
+  if (g.state_version >= g.last_checkpoint_version + interval) {
+    g.checkpoint_due = true;
+  }
+  if (!g.checkpoint_due) return;
+  // Quiescent boundary: nothing in flight, so the checkpoint reflects a
+  // prefix of the total order and every journal record below the cut
+  // position is fully contained in it.
+  if (!g.running.empty() || !g.exec_queue.empty() ||
+      !g.invocation_log.empty()) {
+    return;
+  }
+  cut_checkpoint(g);
+}
+
+void Engine::cut_checkpoint(LocalGroup& g) {
+  const std::uint64_t digest = digest_state(*g.replica, g.state_version);
+  dur::CheckpointRecord rec;
+  rec.group = g.cfg.name;
+  rec.style = static_cast<std::uint8_t>(g.cfg.style);
+  rec.state_version = g.state_version;
+  rec.digest = digest;
+  rec.blob = encode_checkpoint(g, nullptr);
+  durability_->cut_checkpoint(std::move(rec));
+  g.last_checkpoint_version = g.state_version;
+  g.checkpoint_due = false;
+  journal(obs::EventKind::CheckpointCut, g.cfg.name,
+          "version=" + std::to_string(g.state_version) +
+              " digest=" + std::to_string(digest) +
+              " pos=" + std::to_string(durability_->journal().next_index()));
 }
 
 std::shared_ptr<Replica> Engine::local_replica(const std::string& group) const {
@@ -319,13 +461,45 @@ std::uint32_t Engine::my_rank(const LocalGroup& g) const {
 // ---------------------------------------------------------------------------
 
 void Engine::on_message(const totem::GroupMessage& m) {
-  Envelope env;
+  // lint: hotpath — scratch-envelope decode per delivery (strings reuse
+  // capacity, payloads are frame slices)
   try {
-    env = decode_envelope(m.payload);
+    decode_envelope_into(rx_env_, m.payload);
   } catch (const cdr::MarshalError&) {
     return;  // not a replication-layer message
   }
-  route(env, GlobalSeq{m.ring.epoch, m.seq}, m.sender);
+  const GlobalSeq carrier{m.ring.epoch, m.seq};
+  if (durability_) {
+    maybe_journal_delivery(rx_env_, carrier, m.sender, m.payload);
+  }
+  route(rx_env_, carrier, m.sender);
+}
+
+void Engine::maybe_journal_delivery(const Envelope& env,
+                                    const GlobalSeq& carrier, NodeId sender,
+                                    const cdr::WireBuf& frame) {
+  // Journal exactly what replay re-routes: operations, passive postimages
+  // and nested responses addressed to a group hosted here. Client reply
+  // groups are never hosted, so client-bound responses stay off the disk;
+  // membership/sync/oracle control traffic is re-derived live.
+  switch (env.kind) {
+    case Kind::Invocation:
+    case Kind::StateUpdate:
+    case Kind::Response:
+      break;
+    default:
+      return;
+  }
+  if (local_.find(env.target_group) == local_.end()) return;
+  dur::JournalRecord rec;
+  rec.carrier = carrier;
+  rec.sender = sender;
+  rec.kind = static_cast<std::uint8_t>(env.kind);
+  rec.group = env.target_group;
+  rec.op = env.op_id;
+  const auto bytes = frame.span();
+  rec.payload.assign(bytes.begin(), bytes.end());
+  durability_->append(std::move(rec));
 }
 
 void Engine::route(const Envelope& env, const GlobalSeq& carrier,
@@ -714,12 +888,15 @@ void Engine::finish_execution(LocalGroup& g, Execution& ex,
     }
   }
 
+  const OperationId done_id = ex.op_id;
   auto node = g.running.extract(ex.op_id);  // `ex` parks into the pool
   if (!node.empty()) release_execution(std::move(node.mapped()));
   if (g.cfg.style != Style::Active) {
     g.executing = false;
     pump_exec_queue(g);
   }
+  if (!g.pending_serves.empty()) flush_pending_serves(g, done_id);
+  maybe_cut_checkpoint(g);
 }
 
 orb::Future<cdr::Bytes> ExecContext::invoke(const std::string& target,
@@ -807,7 +984,8 @@ void Engine::send_invocation(Envelope env, std::uint32_t rank) {
 
 void Engine::queue_send(Envelope env, std::uint32_t rank, bool is_response) {
   const std::string totem_group = env.target_group;
-  if (!params_.sender_side_suppression || rank == 0 ||
+  // Replay must not stagger: the timers would interleave with the tape.
+  if (recovering_ || !params_.sender_side_suppression || rank == 0 ||
       params_.send_stagger == 0) {
     send_envelope(totem_group, env);
     return;
@@ -865,6 +1043,16 @@ void Engine::log_reply(LocalGroup& g, const OperationId& op,
 
 void Engine::send_envelope(const std::string& totem_group,
                            const Envelope& env) {
+  if (recovering_) {
+    // Replay regenerates every send the pre-crash life made. Responses,
+    // updates and marks already had their ordered effect (their deliveries
+    // are on the tape); only nested invocations may still await replies —
+    // capture those for the finish_recovery() flush, drop the rest.
+    if (env.kind == Kind::Invocation) {
+      recovery_pending_sends_.push_back(env);
+    }
+    return;
+  }
   ETERNAL_DEBUG("engine", "node ", id(), " send kind=",
                 static_cast<int>(env.kind), " op=", env.op_id.str(),
                 " totem_group=", totem_group, " target=", env.target_group);
@@ -911,6 +1099,7 @@ void Engine::handle_state_update(LocalGroup& g, const Envelope& env) {
           env.op_id, std::make_pair(env.operation, env.state_version));
     }
   }
+  maybe_cut_checkpoint(g);
 }
 
 // ---------------------------------------------------------------------------
@@ -1095,6 +1284,7 @@ void Engine::begin_resync(LocalGroup& g) {
   ++g.join_round;
   g.buffered.clear();
   g.snapshot_chunks.clear();
+  g.pending_serves.clear();  // we are no longer an eligible donor
   g.running.clear();
   g.exec_queue.clear();
   g.executing = false;
@@ -1232,14 +1422,59 @@ void Engine::handle_join_request(LocalGroup& g, const Envelope& env) {
     }
   }
   if (donor != id()) return;
-  serve_snapshot(g, env.node, env.round);
+  // The marker fixes the prefix the snapshot must describe, but an
+  // execution delivered *before* the marker may still be suspended awaiting
+  // nested invocations — its state mutation lands only when the coroutine
+  // completes, after this point. Cutting now would exclude that effect
+  // while the joiner (which buffers only post-marker deliveries) has
+  // already discarded its own copy: the operation would be lost on the
+  // joiner forever. Defer the cut until those executions drain. Anything
+  // post-marker that completes meanwhile is covered by the reply log inside
+  // the snapshot, which suppresses the joiner's buffered duplicates.
+  LocalGroup::PendingServe serve;
+  serve.joiner = env.node;
+  serve.round = env.round;
+  for (const auto& [op, ex] : g.running) {
+    if (!ex->read_only) serve.waiting.insert(op);
+  }
+  if (serve.waiting.empty()) {
+    serve_snapshot(g, env.node, env.round);
+    return;
+  }
+  // A rejoining node retries with a fresh round; a stale deferral must not
+  // fire a second (earlier) snapshot at it.
+  std::erase_if(g.pending_serves, [&](const LocalGroup::PendingServe& p) {
+    return p.joiner == env.node;
+  });
+  g.pending_serves.push_back(std::move(serve));
+}
+
+void Engine::flush_pending_serves(LocalGroup& g, const OperationId& done) {
+  for (std::size_t i = 0; i < g.pending_serves.size();) {
+    LocalGroup::PendingServe& p = g.pending_serves[i];
+    p.waiting.erase(done);
+    if (!p.waiting.empty()) {
+      ++i;
+      continue;
+    }
+    const std::uint32_t joiner = p.joiner;
+    const std::uint32_t round = p.round;
+    g.pending_serves.erase(g.pending_serves.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    // The donor may itself have lost sync while draining; the joiner's
+    // retry timer finds a new donor in that case.
+    if (g.sync == SyncState::Synced) serve_snapshot(g, joiner, round);
+  }
 }
 
 void Engine::serve_snapshot(LocalGroup& g, std::uint32_t joiner,
                             std::uint32_t round) {
-  // Captured synchronously at the (ordered) marker: every synced replica's
-  // state is identical at this point, and processing never stops — the
-  // paper's "transfer while operating" requirement.
+  // Captured at the (ordered) marker once every pre-marker execution has
+  // completed (handle_join_request defers the cut while nested invocations
+  // are suspended in flight). Processing never stops — the paper's
+  // "transfer while operating" requirement — and ops that complete between
+  // the marker and a deferred cut are safe: their replies ride in the
+  // snapshot's reply log, so the joiner suppresses its buffered copies.
   Bytes blob = encode_checkpoint(g, nullptr);
   counters_.snapshots_served.inc();
   const std::uint32_t chunk = params_.snapshot_chunk_bytes;
@@ -1335,7 +1570,10 @@ void Engine::handle_synced_mark(LocalGroup& g, const Envelope& env) {
   // deferred version comparison is defeated by post-merge traffic, which
   // advances the stale replica's version *counter* past the suspect value
   // while the missed operation's effect stays absent forever.
-  if (g.cfg.style == Style::Active && env.node != id() &&
+  // Disk-recovered replicas of any style may hold durable prefixes of
+  // different lengths (per-node sync timing), so the backstop extends to
+  // them until the marks reconcile the survivors.
+  if ((g.cfg.style == Style::Active || g.recovered) && env.node != id() &&
       g.sync == SyncState::Synced && env.state_version > g.state_version) {
     std::uint64_t inflight_mutations = 0;
     for (const auto& [op, ex] : g.running) {

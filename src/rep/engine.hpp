@@ -25,6 +25,7 @@
 //    state reconciliation + fulfillment replay on remerge.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <map>
@@ -44,6 +45,12 @@
 #include "rep/wire.hpp"
 #include "totem/group.hpp"
 #include "util/prng.hpp"
+
+namespace eternal::dur {
+class NodeDurability;
+struct RecoveredGroup;
+struct JournalRecord;
+}  // namespace eternal::dur
 
 namespace eternal::rep {
 
@@ -181,6 +188,40 @@ class Engine {
   /// The node's default (unreplicated) client stub.
   Client& client();
 
+  // --- durability & disaster recovery (src/dur + ft/recovery) ----------
+  /// Attach the node's durability manager: the engine then journals every
+  /// totally-ordered delivery addressed to a hosted group and cuts
+  /// group-consistent checkpoints on the total order. nullptr detaches.
+  void set_durability(dur::NodeDurability* d);
+  dur::NodeDurability* durability() const noexcept { return durability_; }
+
+  /// Enter recovery mode: outbound sends are suppressed (captured for the
+  /// nested-invocation flush) until finish_recovery().
+  void begin_recovery();
+  /// Host `cfg` with state restored from a durable checkpoint, already
+  /// synced — no state transfer. Call between begin_recovery() and the
+  /// journal replay.
+  void host_recovered(const GroupConfig& cfg,
+                      std::shared_ptr<Replica> replica,
+                      const dur::RecoveredGroup& rec);
+  /// Feed one journaled delivery back through the normal routing path
+  /// (dedup, logging, execution, nested-reply resolution).
+  void replay_journal_record(const dur::JournalRecord& rec);
+  /// Leave recovery mode: re-enable sends, re-issue nested invocations
+  /// whose replies never reached the durable tape, announce synced marks.
+  void finish_recovery();
+  bool recovering() const noexcept { return recovering_; }
+  std::uint64_t recovery_replayed() const noexcept {
+    return recovery_replayed_;
+  }
+  /// Client op-id floor restored from disk: the next client created on
+  /// this node starts its op_seq counter above every identifier the
+  /// pre-crash life could have issued.
+  void set_client_op_floor(std::uint64_t floor) noexcept {
+    client_op_floor_ = floor;
+  }
+  std::uint64_t client_op_floor() const noexcept { return client_op_floor_; }
+
   /// Sender flow control, surfaced from the Totem send queue: when true,
   /// Client::invoke refuses new work with TRANSIENT until the token has
   /// drained the backlog.
@@ -251,6 +292,18 @@ class Engine {
     std::vector<std::pair<Envelope, GlobalSeq>> buffered;  // post-marker
     std::map<std::uint32_t, cdr::WireBuf> snapshot_chunks;
     std::uint32_t snapshot_donor = 0;
+    /// Donor side: snapshot serves deferred past the joiner's marker. An
+    /// execution delivered before the marker may still be suspended
+    /// awaiting nested invocations — its state mutation lands only at
+    /// completion — so the cut waits for the mutating executions that were
+    /// in flight when the marker arrived (handle_join_request /
+    /// flush_pending_serves).
+    struct PendingServe {
+      std::uint32_t joiner = 0;
+      std::uint32_t round = 0;
+      std::set<OperationId> waiting;
+    };
+    std::vector<PendingServe> pending_serves;
 
     // Tier-2 (ORB) state. Logged replies are refcounted frame slices, so
     // logging and resending never copy the GIOP bytes.
@@ -276,6 +329,15 @@ class Engine {
     // Tier-3 (infrastructure) state.
     std::deque<Envelope> fulfillment_queue;
     bool replaying_buffer = false;
+
+    // Durability (src/dur): last cut boundary + a cut deferred until the
+    // group reaches a quiescent total-order point.
+    std::uint64_t last_checkpoint_version = 0;
+    bool checkpoint_due = false;
+    /// Rebuilt from disk this life. Recovered replicas may hold durable
+    /// prefixes of different lengths, so the version-staleness backstop
+    /// extends to every style until the siblings reconcile.
+    bool recovered = false;
   };
 
   struct PendingSend {
@@ -326,11 +388,24 @@ class Engine {
   void apply_checkpoint(LocalGroup& g, const Bytes& blob);
   void serve_snapshot(LocalGroup& g, std::uint32_t joiner,
                       std::uint32_t round);
+  void flush_pending_serves(LocalGroup& g, const OperationId& done);
   void complete_sync(LocalGroup& g);
   void broadcast_synced_mark(LocalGroup& g);
 
   void log_reply(LocalGroup& g, const OperationId& op, cdr::WireBuf reply);
   void send_envelope(const std::string& totem_group, const Envelope& env);
+
+  // --- durability hooks ---
+  /// Journal a delivery addressed to a hosted group (raw frame bytes, so
+  /// replay re-routes exactly what arrived).
+  void maybe_journal_delivery(const Envelope& env, const GlobalSeq& carrier,
+                              NodeId sender, const cdr::WireBuf& frame);
+  /// Cut a checkpoint when the group crossed the interval boundary *and*
+  /// sits at a quiescent total-order point (no executions or logged ops in
+  /// flight) — deterministic across replicas, so every node cuts at the
+  /// same version with the same state.
+  void maybe_cut_checkpoint(LocalGroup& g);
+  void cut_checkpoint(LocalGroup& g);
 
   // --- execution pooling ---
   /// A parked Execution re-armed for `id`, or a fresh one if the pool is
@@ -378,6 +453,19 @@ class Engine {
   std::unique_ptr<Client> client_;
   std::function<void(const totem::GroupView&)> view_observer_;
   std::function<void(const DivergenceReport&)> divergence_observer_;
+
+  /// Scratch envelope for on_message/replay decode: strings reuse their
+  /// capacity across deliveries (handlers copy what they keep).
+  Envelope rx_env_;
+
+  // Durability & recovery.
+  dur::NodeDurability* durability_ = nullptr;
+  bool recovering_ = false;
+  std::uint64_t recovery_replayed_ = 0;
+  std::uint64_t client_op_floor_ = 0;
+  /// Nested invocations regenerated by the replay; the subset still
+  /// awaiting replies at finish_recovery() is re-sent live.
+  std::vector<Envelope> recovery_pending_sends_;
 };
 
 /// Handle to one in-flight client invocation. Returned by Client::invoke;
@@ -453,6 +541,14 @@ class Client {
   /// Client-side pipelining cap; 0 = no cap (engine backpressure only).
   void set_max_outstanding(std::size_t n) { max_outstanding_ = n; }
   std::size_t outstanding() const noexcept { return outstanding_.size(); }
+
+  /// Next unused op_seq — persisted by the durability layer so a client
+  /// recreated after a restart never reuses an identifier.
+  std::uint64_t next_op() const noexcept { return next_op_; }
+  /// Raise the op_seq counter to at least `floor` (recovery only).
+  void seed_next_op(std::uint64_t floor) noexcept {
+    next_op_ = std::max(next_op_, floor);
+  }
 
  private:
   friend class Invocation;

@@ -44,22 +44,24 @@ void encode_envelope_into(cdr::Writer& w, const Envelope& env) {
   }
 }
 
-Envelope decode_envelope(const cdr::WireBuf& frame) {
+void decode_envelope_into(Envelope& env, const cdr::WireBuf& frame) {
+  // lint: hotpath — scratch-envelope decode, one per totally-ordered
+  // delivery. Strings are assigned from borrowed views so a reused
+  // envelope's capacity absorbs them; WireBuf members are frame slices.
   cdr::Decoder dec(frame);
-  Envelope env;
   const std::uint8_t kind = dec.get_octet();
   if (kind < 1 || kind > 7) throw cdr::MarshalError("bad envelope kind");
   env.kind = static_cast<Kind>(kind);
   env.op_id.parent = get_seq(dec);
   env.op_id.op_seq = dec.get_ulonglong();
-  env.target_group = dec.get_string();
-  env.reply_group = dec.get_string();
-  env.source_group = dec.get_string();
+  env.target_group.assign(dec.get_string_view());
+  env.reply_group.assign(dec.get_string_view());
+  env.source_group.assign(dec.get_string_view());
   env.fulfillment = dec.get_boolean();
   env.timestamp = dec.get_ulonglong();
   env.giop = dec.get_octet_seq_buf();
   env.state_version = dec.get_ulonglong();
-  env.operation = dec.get_string();
+  env.operation.assign(dec.get_string_view());
   env.update = dec.get_octet_seq_buf();
   env.read_only = dec.get_boolean();
   env.node = dec.get_ulong();
@@ -72,7 +74,15 @@ Envelope decode_envelope(const cdr::WireBuf& frame) {
   if (dec.get_boolean()) {
     env.trace_id = dec.get_ulonglong();
     env.parent_span = dec.get_ulonglong();
+  } else {
+    env.trace_id = 0;
+    env.parent_span = 0;
   }
+}
+
+Envelope decode_envelope(const cdr::WireBuf& frame) {
+  Envelope env;
+  decode_envelope_into(env, frame);
   return env;
 }
 

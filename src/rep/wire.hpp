@@ -80,6 +80,10 @@ struct Envelope {
 /// frame with giop/update/blob as zero-copy slices of it.
 void encode_envelope_into(cdr::Writer& w, const Envelope& env);
 Envelope decode_envelope(const cdr::WireBuf& frame);
+/// Scratch-reuse variant: assigns every field of `env` (strings reuse
+/// their capacity), so one long-lived envelope absorbs a whole stream of
+/// deliveries without per-packet rehydration.
+void decode_envelope_into(Envelope& env, const cdr::WireBuf& frame);
 
 /// Compat shim (tests, checkpoint tier-3 entries): the one Bytes round trip
 /// left on this surface. Delegates to the codecs above.

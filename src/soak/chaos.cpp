@@ -78,6 +78,13 @@ void ChaosPlan::draw_schedule(util::Xoshiro256& rng) {
   if (params_.allow_links) kinds.push_back(3);
   if (params_.allow_gray) kinds.push_back(4);
   if (params_.allow_skew) kinds.push_back(5);
+  if (params_.allow_domain_kill && params_.hooks.kill &&
+      params_.hooks.recover) {
+    kinds.push_back(6);
+  }
+  if (params_.allow_disk_full && params_.hooks.set_disk_full) {
+    kinds.push_back(7);
+  }
   if (kinds.empty() || params_.duration == 0) return;
 
   for (std::size_t m = 0; m < params_.motifs; ++m) {
@@ -98,7 +105,9 @@ void ChaosPlan::draw_schedule(util::Xoshiro256& rng) {
       case 2: motif = draw_partition(rng, at, dur, true); break;
       case 3: motif = draw_link(rng, at, dur); break;
       case 4: motif = draw_gray(rng, at, dur); break;
-      default: motif = draw_skew(rng, at, dur); break;
+      case 5: motif = draw_skew(rng, at, dur); break;
+      case 6: motif = draw_domain_kill(rng, at, dur); break;
+      default: motif = draw_disk_full(rng, at, dur); break;
     }
     if (!spec_.empty()) spec_ += ";";
     spec_ += motif.spec;
@@ -135,7 +144,9 @@ ChaosPlan::Motif ChaosPlan::draw_crash(util::Xoshiro256& rng, sim::Time at,
   };
   m.revert = [this, pool] {
     for (sim::NodeId n : pool) {
-      if (downed_.erase(n) != 0) domain_.restart(n);
+      // The is_up check covers an overlapping domain kill: its cold
+      // restart owns any node the power cut took, restarted or not.
+      if (downed_.erase(n) != 0 && !fabric_.is_up(n)) domain_.restart(n);
     }
   };
   return m;
@@ -244,6 +255,59 @@ ChaosPlan::Motif ChaosPlan::draw_skew(util::Xoshiro256& rng, sim::Time at,
   return m;
 }
 
+ChaosPlan::Motif ChaosPlan::draw_domain_kill(util::Xoshiro256& rng,
+                                             sim::Time at, sim::Time dur) {
+  // The whole-domain disaster: every unprotected node power-cuts at the
+  // same instant (deliberately ignoring max_down — this is the total-loss
+  // case the durable journals exist for), and the revert is a cold restart
+  // from disk instead of a plain process restart.
+  const bool torn = rng.chance(0.5);
+  Motif m;
+  m.at = at;
+  m.until = at + dur;
+  m.spec = std::string("domkill(") + (torn ? "torn" : "clean") + "@" + ms(at) +
+           "+" + ms(dur) + ")";
+  m.apply = [this, torn] {
+    std::vector<sim::NodeId> victims;
+    for (sim::NodeId n : crashable_nodes()) {
+      if (fabric_.is_up(n)) victims.push_back(n);
+    }
+    params_.hooks.kill(victims, torn);
+    domain_killed_ = true;
+    // The cold restart owns every down node now, including ones an earlier
+    // crash motif took (their disks survived intact — a process crash, not
+    // a power cut — so recovery simply finds a fully-synced journal).
+    downed_.clear();
+  };
+  m.revert = [this] {
+    if (!domain_killed_) return;
+    domain_killed_ = false;
+    params_.hooks.recover();
+  };
+  return m;
+}
+
+ChaosPlan::Motif ChaosPlan::draw_disk_full(util::Xoshiro256& rng, sim::Time at,
+                                           sim::Time dur) {
+  // Disk-full: one node's journal and checkpoints stop persisting while the
+  // replica keeps serving. The node survives in-run; only a later power cut
+  // exposes the frozen tape, which recovery must absorb as staleness.
+  const auto node = static_cast<sim::NodeId>(rng.below(net_.node_count()));
+  Motif m;
+  m.at = at;
+  m.until = at + dur;
+  m.spec = "diskfull(n" + std::to_string(node) + "@" + ms(at) + "+" + ms(dur) +
+           ")";
+  m.apply = [this, node] {
+    params_.hooks.set_disk_full(node, true);
+    disk_full_.insert(node);
+  };
+  m.revert = [this, node] {
+    if (disk_full_.erase(node) != 0) params_.hooks.set_disk_full(node, false);
+  };
+  return m;
+}
+
 void ChaosPlan::start() {
   if (started_) return;
   started_ = true;
@@ -260,6 +324,15 @@ void ChaosPlan::heal_all() {
   net_.clear_slowdowns();
   for (sim::NodeId n = 0; n < net_.node_count(); ++n) {
     fabric_.node(n).set_clock_rate(1.0);
+  }
+  for (sim::NodeId n : disk_full_) params_.hooks.set_disk_full(n, false);
+  disk_full_.clear();
+  // An interrupted domain kill needs the cold restart, not a plain process
+  // restart: the power-cut nodes only have their durable state to come back
+  // from. Run it before the generic sweep so the sweep finds nothing down.
+  if (domain_killed_) {
+    domain_killed_ = false;
+    params_.hooks.recover();
   }
   // Restart every node this plan crashed, plus anything else found down
   // (belt and braces: the runner audits a fully-recovered cluster).

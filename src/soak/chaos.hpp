@@ -14,7 +14,16 @@
 //   gray    — a gray failure: one node slow-but-alive (transit-time
 //             multiplier + fixed extra delay in both directions);
 //   skew    — per-node clock-rate skew: one node's protocol timers run
-//             fast or slow, so its failure detector fires early or late.
+//             fast or slow, so its failure detector fires early or late;
+//   domkill — the whole-domain disaster: every unprotected node power-cuts
+//             at once (optionally with a torn journal tail) and the domain
+//             cold-restarts from its durable journals + checkpoints;
+//   diskfull— one node's disk stops accepting writes, so its journal and
+//             checkpoints freeze while the replica keeps serving.
+//
+// The durability motifs are off by default and require the runner to
+// install DurabilityHooks — keeping them out of the draw preserves the
+// bit-identical schedules of existing seed-swept campaigns.
 //
 // Every choice — motif types, targets, onsets, durations — is drawn from a
 // PRNG stream derived from the run seed, so a campaign replays exactly from
@@ -40,6 +49,17 @@
 
 namespace eternal::soak {
 
+/// Runner-installed callbacks that let durability motifs reach the disk
+/// layer without coupling the chaos planner to ft/dur. `kill` power-cuts
+/// the given nodes (fabric + disk; torn leaves a mid-record journal tail),
+/// `recover` cold-restarts every currently-down node from durable state,
+/// and `set_disk_full` toggles the write-refusal fault on one node's disk.
+struct DurabilityHooks {
+  std::function<void(const std::vector<sim::NodeId>&, bool torn)> kill;
+  std::function<void()> recover;
+  std::function<void(sim::NodeId, bool full)> set_disk_full;
+};
+
 struct ChaosParams {
   /// Campaign window, relative to start(): first onset at >= `start`, every
   /// motif reverted by `start + duration`.
@@ -56,6 +76,11 @@ struct ChaosParams {
   bool allow_links = true;
   bool allow_gray = true;
   bool allow_skew = true;
+  /// Durability motifs: off by default (they require `hooks` and would
+  /// otherwise perturb existing seed-swept schedules).
+  bool allow_domain_kill = false;
+  bool allow_disk_full = false;
+  DurabilityHooks hooks;
 };
 
 class ChaosPlan {
@@ -102,6 +127,8 @@ class ChaosPlan {
   Motif draw_link(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
   Motif draw_gray(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
   Motif draw_skew(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
+  Motif draw_domain_kill(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
+  Motif draw_disk_full(util::Xoshiro256& rng, sim::Time at, sim::Time dur);
   /// A random two-component split of all nodes (both sides non-empty).
   std::vector<sim::NodeId> draw_split(util::Xoshiro256& rng);
   std::vector<sim::NodeId> crashable_nodes() const;
@@ -117,6 +144,10 @@ class ChaosPlan {
   std::vector<sim::TimerHandle> timers_;
   /// Nodes this plan crashed and has not yet restarted.
   std::set<sim::NodeId> downed_;
+  /// Nodes whose disks are currently refusing writes.
+  std::set<sim::NodeId> disk_full_;
+  /// A domain kill fired and its cold restart has not run yet.
+  bool domain_killed_ = false;
   bool started_ = false;
 };
 

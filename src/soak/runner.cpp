@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "analyze.hpp"  // obsctl analysis core — the same invariant audit
                         // `obsctl audit` runs offline over dump files
 #include "app/servants.hpp"
+#include "cdr/cdr.hpp"
+#include "ft/recovery.hpp"
 #include "ft/replication_manager.hpp"
 #include "obs/obs.hpp"
 #include "rep/oracle.hpp"
@@ -27,6 +30,7 @@ std::string SoakResult::summary() const {
   out += clean ? "clean"
                : "VIOLATION(" + std::to_string(violations.size()) + ")";
   out += " issued=" + std::to_string(workload.issued);
+  if (workload.nested > 0) out += " nested=" + std::to_string(workload.nested);
   out += " completed=" + std::to_string(workload.completed);
   out += " shed=" + std::to_string(workload.shed);
   if (!workload.latency_us.empty()) {
@@ -58,6 +62,17 @@ std::string SoakRunner::repro_command(std::uint64_t seed) const {
   if (!cfg_.mix_styles) cmd += " --no-style-mix";
   if (cfg_.fault_free) cmd += " --fault-free";
   if (cfg_.inject_duplicate) cmd += " --inject-duplicate";
+  if (cfg_.durable) cmd += " --durable";
+  if (cfg_.chaos.allow_domain_kill) cmd += " --allow-domkill";
+  if (cfg_.chaos.allow_disk_full) cmd += " --allow-diskfull";
+  if (cfg_.workload.nested_fraction > 0) {
+    cmd += " --nested-ratio " + fmt_rate(cfg_.workload.nested_fraction);
+  }
+  if (!cfg_.chaos.allow_partitions && !cfg_.chaos.allow_flapping &&
+      !cfg_.chaos.allow_links && !cfg_.chaos.allow_gray &&
+      !cfg_.chaos.allow_skew) {
+    cmd += " --crash-only";
+  }
   return cmd;
 }
 
@@ -90,6 +105,17 @@ SoakResult SoakRunner::run(std::uint64_t seed) {
   rep::Domain domain(fabric, ep);
   ft::FaultNotifier notifier;
   ft::ReplicationManager rm(domain, notifier);
+  // Durable mode: one simulated disk per node, journal/checkpoint plane
+  // attached to every engine. Declared after rm (destroyed before it), farm
+  // before plane (plane references both domain and farm).
+  std::optional<sim::DiskFarm> farm;
+  std::optional<ft::DurabilityPlane> plane;
+  if (cfg_.durable) {
+    farm.emplace(cfg_.nodes);
+    plane.emplace(domain, *farm, cfg_.durability);
+    rm.set_durability_plane(&*plane);
+    plane->attach_all();
+  }
   fabric.start_all();
   fabric.run_until_converged(2 * sim::kSecond);
   sim.run_for(300 * sim::kMillisecond);
@@ -98,25 +124,74 @@ SoakResult SoakRunner::run(std::uint64_t seed) {
   // active / active / warm-passive so failover and re-invocation under the
   // original identifiers are exercised alongside active suppression.
   std::vector<std::string> groups;
+  ft::Properties base_props;
+  base_props.initial_number_replicas =
+      std::min<std::uint32_t>(cfg_.replicas,
+                              static_cast<std::uint32_t>(cfg_.nodes));
+  base_props.minimum_number_replicas =
+      std::min<std::uint32_t>(cfg_.min_replicas,
+                              base_props.initial_number_replicas);
   for (std::size_t g = 0; g < cfg_.groups; ++g) {
     const std::string name = "soak-g" + std::to_string(g);
-    ft::Properties props;
+    ft::Properties props = base_props;
     props.replication_style = (cfg_.mix_styles && g % 3 == 2)
                                   ? rep::Style::WarmPassive
                                   : rep::Style::Active;
-    props.initial_number_replicas =
-        std::min<std::uint32_t>(cfg_.replicas,
-                                static_cast<std::uint32_t>(cfg_.nodes));
-    props.minimum_number_replicas =
-        std::min<std::uint32_t>(cfg_.min_replicas,
-                                props.initial_number_replicas);
     rm.create_object<app::Counter>(name, props);
     groups.push_back(name);
   }
+  // Nested mix: a Teller group whose transfers fan out into two Account
+  // groups. These are workload targets and audit subjects, but stay out of
+  // `groups` so the Zipf draw over plain counters is untouched.
+  WorkloadParams wp = cfg_.workload;
+  std::vector<std::string> audit_groups = groups;
+  if (wp.nested_fraction > 0) {
+    ft::Properties props = base_props;
+    props.replication_style = rep::Style::Active;
+    rm.create_object<app::Teller>("soak-teller", props);
+    rm.create_object<app::Account>("soak-acct-a", props);
+    rm.create_object<app::Account>("soak-acct-b", props);
+    wp.nested_group = "soak-teller";
+    wp.nested_accounts = {"soak-acct-a", "soak-acct-b"};
+    audit_groups.insert(audit_groups.end(),
+                        {"soak-teller", "soak-acct-a", "soak-acct-b"});
+  }
   sim.run_for(500 * sim::kMillisecond);
+  if (wp.nested_fraction > 0) {
+    // Seed both accounts so the ±1 transfer random walk rarely overdrafts;
+    // the occasional NO_FUNDS that still slips through is deliberate
+    // coverage (a carried exception through a nested, replayed operation).
+    for (const char* acct : {"soak-acct-a", "soak-acct-b"}) {
+      cdr::Encoder enc;
+      enc.put_longlong(1000);
+      domain.client(0).invoke_blocking(acct, "deposit", enc.take());
+    }
+  }
 
-  WorkloadGen workload(domain, cfg_.workload, groups, seed);
-  ChaosPlan chaos(domain, cfg_.chaos, workload.client_nodes(), seed);
+  WorkloadGen workload(domain, wp, groups, seed);
+  // Durable runs hand the chaos planner the disk-layer hooks; plain crash
+  // motifs then recover via state transfer while domain kills recover from
+  // the journals — both recovery paths in one campaign.
+  ChaosParams cp = cfg_.chaos;
+  if (cfg_.durable) {
+    cp.hooks.kill = [&fabric, &plane](const std::vector<sim::NodeId>& victims,
+                                      bool torn) {
+      for (sim::NodeId n : victims) {
+        if (!fabric.is_up(n)) continue;
+        fabric.crash(n);
+        plane->crash(n, torn);
+      }
+    };
+    cp.hooks.recover = [this, &fabric, &rm] {
+      for (sim::NodeId n = 0; n < cfg_.nodes; ++n) {
+        if (!fabric.is_up(n)) rm.recover_node(n);
+      }
+    };
+    cp.hooks.set_disk_full = [&farm](sim::NodeId n, bool full) {
+      farm->disk(n).set_full(full);
+    };
+  }
+  ChaosPlan chaos(domain, cp, workload.client_nodes(), seed);
   workload.start();
   if (!cfg_.fault_free) chaos.start();
   sim.run_for(cfg_.run_time);
@@ -155,7 +230,7 @@ SoakResult SoakRunner::run(std::uint64_t seed) {
   // is the authoritative divergence invariant under chaos — a partition
   // legitimately diverges the components mid-run (the paper's partitioned
   // operation), and reconciliation on remerge must erase the difference.
-  for (const std::string& name : groups) {
+  for (const std::string& name : audit_groups) {
     bool have_ref = false;
     sim::NodeId ref_node = 0;
     std::uint64_t ref_version = 0;
@@ -239,6 +314,14 @@ SoakResult SoakRunner::run(std::uint64_t seed) {
     const std::string path =
         cfg_.dump_dir + "/soak-seed" + std::to_string(seed) + ".bin";
     if (fr.dump(path)) r.dump_path = path;
+  }
+  // Durable violations also leave the disk farm behind — `recoverctl
+  // inspect <dir>` reads the journals and checkpoints the failing run
+  // would have recovered from.
+  if (!r.clean && cfg_.durable && !cfg_.dump_dir.empty()) {
+    const std::string fdir =
+        cfg_.dump_dir + "/soak-seed" + std::to_string(seed) + "-farm";
+    if (farm->save_to(fdir)) r.farm_dump_path = fdir;
   }
   return r;
 }

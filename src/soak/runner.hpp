@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "dur/durability.hpp"
 #include "soak/chaos.hpp"
 #include "soak/workload.hpp"
 #include "util/stats.hpp"
@@ -47,6 +48,14 @@ struct SoakConfig {
 
   WorkloadParams workload;
   ChaosParams chaos;
+  /// Durable mode: every node gets a simulated disk with a journal +
+  /// checkpoint plane, and the runner installs the chaos DurabilityHooks so
+  /// domain-kill motifs power-cut the whole domain and cold-restart it from
+  /// disk, and disk-full motifs freeze one node's tape mid-run. With
+  /// nested_fraction > 0 the runner also hosts the Teller/Account trio the
+  /// workload's nested transfers target.
+  bool durable = false;
+  dur::DurParams durability;
   /// Fault-free control run: the campaign is drawn (so the spec is still
   /// reported) but never started. bench_load uses this for baselines.
   bool fault_free = false;
@@ -72,6 +81,7 @@ struct SoakResult {
   std::string campaign;  // ChaosPlan::spec(), "" for an empty schedule
   std::string repro;     // one-line soakctl command replaying this schedule
   std::string dump_path; // written on violation when dump_dir is set
+  std::string farm_dump_path;  // durable runs: DiskFarm dump on violation
 
   WorkloadStats workload;
   std::uint64_t duplicates_dropped = 0;  // receiver-side suppressions

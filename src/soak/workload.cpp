@@ -105,16 +105,37 @@ void WorkloadGen::fire(std::size_t i) {
   // Open loop: the next arrival is scheduled before — and regardless of —
   // this operation's fate.
   arm(i);
-  const std::string& group = groups_[pick_group()];
-  const bool read = rng_.chance(params_.read_fraction);
+  // The nested draw must short-circuit when the mix is disabled: consuming
+  // an extra rng_ draw per arrival would shift every existing seed's
+  // schedule and invalidate committed campaign baselines.
+  const bool nested = params_.nested_fraction > 0 &&
+                      !params_.nested_group.empty() &&
+                      params_.nested_accounts.size() >= 2 &&
+                      rng_.chance(params_.nested_fraction);
   ++stats_.issued;
   // The client stub must be re-fetched per arrival: a restart after a crash
   // would have replaced it (chaos never crashes client nodes, but the
   // lookup is cheap and makes the generator safe by construction).
   rep::Client& c = domain_.client(slots_[i].node);
   try {
-    rep::Invocation inv = read ? c.invoke(group, "get", {})
-                               : c.invoke(group, "incr", incr_arg());
+    rep::Invocation inv = [&] {
+      if (nested) {
+        ++stats_.nested;
+        // Alternate the direction so neither account drains monotonically;
+        // an occasional NO_FUNDS still surfaces as a carried exception,
+        // which is part of the point (exceptions through nested replay).
+        const bool forward = rng_.chance(0.5);
+        cdr::Encoder enc;
+        enc.put_string(params_.nested_accounts[forward ? 0 : 1]);
+        enc.put_string(params_.nested_accounts[forward ? 1 : 0]);
+        enc.put_longlong(1);
+        return c.invoke(params_.nested_group, "transfer", enc.take());
+      }
+      const std::string& group = groups_[pick_group()];
+      const bool read = rng_.chance(params_.read_fraction);
+      return read ? c.invoke(group, "get", {})
+                  : c.invoke(group, "incr", incr_arg());
+    }();
     ++in_flight_;
     const sim::Time sent = sim_.now();
     inv.then([this, sent](orb::Future<cdr::Bytes>::State& st) {

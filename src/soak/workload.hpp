@@ -47,10 +47,19 @@ struct WorkloadParams {
   /// toggled-off client stops issuing but its in-flight pipeline drains
   /// normally (a polite departure, not a crash).
   sim::Time churn_interval = 0;
+  /// Fraction of arrivals that are *nested* operations: a `transfer` on
+  /// `nested_group` (a Teller group) that itself invokes withdraw/deposit
+  /// on the two `nested_accounts` Account groups. 0 disables the mix; the
+  /// nested draw short-circuits when disabled so existing seeds keep their
+  /// exact arrival schedules.
+  double nested_fraction = 0;
+  std::string nested_group;
+  std::vector<std::string> nested_accounts;
 };
 
 struct WorkloadStats {
   std::uint64_t issued = 0;     // arrivals that reached Client::invoke
+  std::uint64_t nested = 0;     // of which: nested transfer operations
   std::uint64_t completed = 0;  // replies delivered
   std::uint64_t failed = 0;     // completed with a carried exception
   std::uint64_t shed = 0;       // refused with TRANSIENT backpressure

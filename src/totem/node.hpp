@@ -31,6 +31,7 @@
 // member is known to have the message).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -180,6 +181,16 @@ class Node {
   bool operational() const noexcept { return state_ == State::Operational; }
   RingId ring_id() const noexcept { return cur_.id; }
   const std::vector<NodeId>& members() const noexcept { return cur_.members; }
+  /// Highest ring epoch this node has ever observed — the durability layer
+  /// persists it so a recovered node never re-forms a ring below it.
+  std::uint64_t max_epoch_seen() const noexcept { return max_epoch_seen_; }
+  /// Disaster recovery: raise the epoch floor before (re)starting, so the
+  /// first post-recovery ring sits above every epoch the durable journal
+  /// carries — operation ids parent on (epoch, seq) carriers and must stay
+  /// unique across lives.
+  void seed_epoch(std::uint64_t epoch) noexcept {
+    max_epoch_seen_ = std::max(max_epoch_seen_, epoch);
+  }
   NodeStats stats() const noexcept { return counters_.snapshot(); }
   std::size_t backlog() const noexcept {
     return pending_.size() + recovery_pending_.size();

@@ -21,6 +21,8 @@
 #include "analyze.hpp"
 #include "app/servants.hpp"
 #include "ft/fault_notifier.hpp"
+#include "ft/recovery.hpp"
+#include "ft/replication_manager.hpp"
 #include "obs/obs.hpp"
 #include "rep/domain.hpp"
 #include "rep/stub.hpp"
@@ -363,6 +365,170 @@ TEST(ObsctlAudit, TransferOnAnotherNodeDoesNotExempt) {
   const auto violations = analysis.audit();
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_EQ(violations[0].check, "duplicate-execution");
+}
+
+TEST(ObsctlAudit, RecoveryExemptsReplayedReExecution) {
+  // A cold restart replays the journal through the normal execution path:
+  // the same operation legitimately starts executing again on the same
+  // node, and the client's retry after the restart gets redelivered there.
+  // The RecoveryBegin/End bracket between the two executions marks the
+  // lineage boundary exactly like a state transfer; without it, both the
+  // duplicate-execution and unsuppressed-retry convictions must fire.
+  const auto story = [](bool with_recovery) {
+    std::vector<obs::FlightRecord> recs;
+    recs.push_back(span_record(10, 3, obs::SpanEvent::ClientSend, 1, 0,
+                               "group=ctr op=incr"));
+    recs.push_back(span_record(20, 1, obs::SpanEvent::TotemDeliver, 2, 1,
+                               "carrier=1:7 from=3 target=ctr"));
+    recs.push_back(span_record(21, 1, obs::SpanEvent::ExecStart, 3, 1,
+                               "group=ctr op=incr"));
+    if (with_recovery) {
+      recs.push_back(journal_record(30, 1, obs::EventKind::RecoveryBegin,
+                                    "ctr checkpoint version=0 replay_from=0"));
+      recs.push_back(journal_record(32, 1, obs::EventKind::RecoveryEnd,
+                                    "ctr version=1 replayed=1"));
+    }
+    recs.push_back(span_record(35, 3, obs::SpanEvent::ClientRetransmit, 4, 1,
+                               "group=ctr op=incr"));
+    recs.push_back(span_record(40, 1, obs::SpanEvent::TotemDeliver, 5, 1,
+                               "carrier=2:3 from=3 target=ctr"));
+    recs.push_back(span_record(41, 1, obs::SpanEvent::ExecStart, 6, 1,
+                               "group=ctr op=incr"));
+    recs.push_back(span_record(50, 3, obs::SpanEvent::ReplyDeliver, 7, 3, ""));
+    return recs;
+  };
+
+  obsctl::Analysis exempt;
+  exempt.add_records(story(/*with_recovery=*/true));
+  for (const auto& v : exempt.audit()) ADD_FAILURE() << v.str();
+
+  obsctl::Analysis convicted;
+  convicted.add_records(story(/*with_recovery=*/false));
+  const auto violations = convicted.audit();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].check, "duplicate-execution");
+  EXPECT_EQ(violations[1].check, "unsuppressed-retry");
+}
+
+TEST(ObsctlAudit, RecoveryDigestMismatchMarkerIsFlagged) {
+  // The engine re-digests a loaded checkpoint against its rebuilt state and
+  // stamps " mismatch" into the RecoveryLoaded detail when they disagree.
+  obsctl::Analysis analysis;
+  analysis.add_records({journal_record(
+      10, 1, obs::EventKind::RecoveryLoaded,
+      "ctr version=5 digest=12345 mismatch expected=999@5")});
+  const auto violations = analysis.audit();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "recovery-digest");
+  EXPECT_NE(violations[0].detail.find("node 1"), std::string::npos);
+}
+
+TEST(ObsctlAudit, CheckpointDigestsCrossCheckedAcrossNodesAndRecovery) {
+  // Checkpoints ride the agreed sequence: two nodes cutting the same
+  // (group, version) with different digests had already diverged.
+  {
+    obsctl::Analysis analysis;
+    analysis.add_records(
+        {journal_record(10, 0, obs::EventKind::CheckpointCut,
+                        "ctr version=8 digest=111 pos=9"),
+         journal_record(11, 1, obs::EventKind::CheckpointCut,
+                        "ctr version=8 digest=222 pos=9")});
+    const auto violations = analysis.audit();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].check, "checkpoint-divergence");
+  }
+  // A recovery that loads a digest other than the recorded cut means the
+  // disk image and the history disagree.
+  {
+    obsctl::Analysis analysis;
+    analysis.add_records(
+        {journal_record(10, 0, obs::EventKind::CheckpointCut,
+                        "ctr version=8 digest=111 pos=9"),
+         journal_record(90, 0, obs::EventKind::RecoveryLoaded,
+                        "ctr version=8 digest=333")});
+    const auto violations = analysis.audit();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].check, "recovery-digest");
+  }
+  // Agreement on both axes is clean.
+  {
+    obsctl::Analysis analysis;
+    analysis.add_records(
+        {journal_record(10, 0, obs::EventKind::CheckpointCut,
+                        "ctr version=8 digest=111 pos=9"),
+         journal_record(11, 1, obs::EventKind::CheckpointCut,
+                        "ctr version=8 digest=111 pos=9"),
+         journal_record(90, 0, obs::EventKind::RecoveryLoaded,
+                        "ctr version=8 digest=111")});
+    EXPECT_TRUE(analysis.audit().empty());
+  }
+}
+
+/// Whole-domain kill + cold restart, recorded and dumped: the recovery
+/// story (checkpoint cuts, replayed executions, the straddle-free retry
+/// window) must audit clean, and the dump doubles as the `recovery` ctest
+/// fixture for the CLI.
+TEST_F(Scenario, DomainRecoveryDumpAuditsClean) {
+  sim::DiskFarm farm(3);
+  sim::Simulation sim(21);
+  sim::Network net(sim, 3);
+  totem::Fabric fabric(sim, net);
+  rep::Domain domain(fabric);
+  ft::FaultNotifier notifier;
+  ft::ReplicationManager rm(domain, notifier);
+  dur::DurParams dp;
+  dp.checkpoint_interval = 8;  // several cuts inside 20 increments
+  ft::DurabilityPlane plane(domain, farm, dp);
+  rm.set_durability_plane(&plane);
+  fabric.start_all();
+  plane.attach_all();
+
+  ft::Properties props;
+  props.replication_style = rep::Style::Active;
+  props.initial_number_replicas = 3;
+  props.minimum_number_replicas = 2;
+  rm.create_object<Counter>("ctr", props, {{0, 1, 2}});
+  ASSERT_TRUE(fabric.run_until_converged(2 * kSecond));
+  sim.run_for(300 * kMillisecond);
+
+  const auto incr = [&](NodeId node, std::int64_t d) {
+    cdr::Encoder enc;
+    enc.put_longlong(d);
+    cdr::Bytes out = domain.client(node).invoke_blocking("ctr", "incr",
+                                                         enc.take());
+    cdr::Decoder dec(out);
+    return dec.get_longlong();
+  };
+  for (int i = 0; i < 20; ++i) incr(0, 1);
+
+  plane.sync_all();
+  for (NodeId n : {0u, 1u, 2u}) {
+    fabric.crash(n);
+    plane.crash(n, /*torn=*/false);
+  }
+  sim.run_for(200 * kMillisecond);
+
+  rm.recover_domain();
+  ASSERT_TRUE(fabric.run_until_converged(8 * kSecond));
+  sim.run_for(kSecond);
+  // Post-recovery traffic: the audited history shows the recovered lineage
+  // answering ordinary invocations.
+  EXPECT_EQ(incr(1, 5), 25);
+  sim.run_for(300 * kMillisecond);
+
+  // The run really told the recovery story the auditor cross-checks.
+  ASSERT_FALSE(
+      obs::Journal::global().events(obs::EventKind::CheckpointCut).empty());
+  ASSERT_FALSE(
+      obs::Journal::global().events(obs::EventKind::RecoveryLoaded).empty());
+
+  const std::string path = dump_dir("recovery") + "/domain_recovery.bin";
+  ASSERT_TRUE(obs::FlightRecorder::global().dump(path));
+
+  obsctl::Analysis analysis;
+  analysis.add_file(path);
+  const auto violations = analysis.audit();
+  for (const auto& v : violations) ADD_FAILURE() << v.str();
 }
 
 TEST(ObsctlAudit, CleanSyntheticHistoryPasses) {

@@ -285,6 +285,55 @@ TEST(StateTransfer, ThreeTierCheckpointSizes) {
             sizes.application + sizes.orb + sizes.infrastructure);
 }
 
+TEST(StateTransfer, SnapshotWaitsForSuspendedNestedExecution) {
+  // A join marker can land while an execution delivered *before* it is
+  // still suspended awaiting nested invocations: its state mutation only
+  // happens at completion, after the marker. The donor must defer the
+  // snapshot cut until those executions drain — otherwise the joiner
+  // (which buffers only post-marker deliveries) loses the operation
+  // forever. The recovery soak found this: a resyncing replica installed a
+  // snapshot cut around a suspended transfer and stayed one version (and
+  // one transfer) behind its siblings for good.
+  Cluster c(6);
+  c.domain.host_on<Teller>(cfg("teller", Style::Active), {0, 1});
+  c.domain.host_on<Account>(cfg("acct.a", Style::Active), {3});
+  c.domain.host_on<Account>(cfg("acct.b", Style::Active), {4});
+  ASSERT_TRUE(c.converge());
+  c.invoke_i64(5, "acct.a", "deposit", 1000);
+
+  // A burst of transfers keeps nested executions suspended on the teller
+  // replicas; the join fired mid-burst lands its marker among them.
+  c.domain.client(5).set_max_outstanding(16);
+  constexpr int kTransfers = 8;
+  std::vector<Invocation> futs;
+  for (int i = 0; i < kTransfers; ++i) {
+    cdr::Encoder enc;
+    enc.put_string("acct.a");
+    enc.put_string("acct.b");
+    enc.put_longlong(10);
+    futs.push_back(
+        c.domain.client(5).invoke("teller", "transfer", enc.take()));
+    c.run(kMillisecond);
+  }
+  c.domain.engine(2).host(cfg("teller", Style::Active),
+                          std::make_shared<Teller>(), /*initial=*/false);
+  c.run(10 * kSecond);
+
+  for (auto& fut : futs) ASSERT_TRUE(fut.ready());
+  ASSERT_TRUE(c.domain.engine(2).is_synced("teller"));
+  // The joiner's snapshot must cover every transfer that was suspended in
+  // flight when its marker arrived: all teller replicas agree on exactly
+  // one execution each.
+  for (NodeId n : {0u, 1u, 2u}) {
+    EXPECT_EQ(c.replica<Teller>(n, "teller")->transfers(),
+              static_cast<std::uint64_t>(kTransfers))
+        << "node " << n;
+  }
+  EXPECT_EQ(c.replica<Account>(3, "acct.a")->balance(),
+            1000 - 10 * kTransfers);
+  EXPECT_EQ(c.replica<Account>(4, "acct.b")->balance(), 10 * kTransfers);
+}
+
 TEST(StateTransfer, RecoveredReplicaAnswersOldClientRetries) {
   // The reply log (tier-2 ORB state) travels with the checkpoint: a client
   // retry for an operation executed before the transfer is answered from

@@ -62,6 +62,18 @@ std::string first_token(const std::string& s) {
   return pos == std::string::npos ? s : s.substr(0, pos);
 }
 
+// Extracts the value of a "key=value" field from an event detail line, or
+// an empty string when the field is absent.
+std::string parse_field(const std::string& detail, const std::string& key) {
+  const std::string needle = key + '=';
+  auto pos = detail.find(needle);
+  if (pos == std::string::npos) return {};
+  pos += needle.size();
+  const auto end = detail.find(' ', pos);
+  return detail.substr(pos, end == std::string::npos ? std::string::npos
+                                                     : end - pos);
+}
+
 std::string members_str(const std::vector<std::uint32_t>& members) {
   std::string out = "[";
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -307,13 +319,19 @@ std::vector<AuditViolation> Analysis::audit() {
   // discarded whatever tentative history it held (the paper's partitioned
   // operation), so executions and deliveries on opposite sides of a
   // transfer belong to different state lineages and must not be judged as
-  // one. Spawned replicas likewise bootstrap through a transfer.
+  // one. Spawned replicas likewise bootstrap through a transfer, and a
+  // disk recovery is the same boundary in time instead of space: the
+  // journal replay re-runs pre-crash deliveries under the restarted
+  // process, so a repeat straddling RecoveryBegin/RecoveryEnd is the tape
+  // being replayed, not a duplicate.
   std::map<std::pair<std::string, std::uint32_t>, std::vector<std::uint64_t>>
       transfers;
   for (const FlightRecord& r : records_) {
     if (r.stream != FlightRecord::Stream::Journal) continue;
     if (r.journal_kind() != obs::EventKind::StateTransferBegin &&
-        r.journal_kind() != obs::EventKind::StateTransferEnd) {
+        r.journal_kind() != obs::EventKind::StateTransferEnd &&
+        r.journal_kind() != obs::EventKind::RecoveryBegin &&
+        r.journal_kind() != obs::EventKind::RecoveryEnd) {
       continue;
     }
     transfers[{first_token(r.detail_str()), r.node}].push_back(r.time);
@@ -451,6 +469,60 @@ std::vector<AuditViolation> Analysis::audit() {
       out.push_back({"divergence-inconsistent",
                      "group " + group +
                          ": nodes convicted different reports: " + summary});
+    }
+  }
+
+  // Recovered state matches what was durably checkpointed. Every
+  // CheckpointCut of the same (group, version) must carry the same digest
+  // on every node — the cut rides the agreed sequence, so divergent cut
+  // digests mean the replicas had already split before the crash. And a
+  // RecoveryLoaded must agree with the cut it restored from: the engine
+  // stamps " mismatch" into the detail when its own re-digest disagrees,
+  // and we cross-check the loaded digest against the recorded cut besides,
+  // in case the disk image was swapped between runs.
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, std::uint32_t>>
+      cut_digests;  // (group, version) -> (digest, first node that cut it)
+  for (const FlightRecord& r : records_) {
+    if (r.stream != FlightRecord::Stream::Journal) continue;
+    const auto kind = r.journal_kind();
+    if (kind != obs::EventKind::CheckpointCut &&
+        kind != obs::EventKind::RecoveryLoaded) {
+      continue;
+    }
+    const std::string detail = r.detail_str();
+    const std::string group = first_token(detail);
+    const std::string version = parse_field(detail, "version");
+    const std::string digest = parse_field(detail, "digest");
+    if (kind == obs::EventKind::CheckpointCut) {
+      if (version.empty() || digest.empty()) continue;
+      auto [it, inserted] =
+          cut_digests.try_emplace({group, version}, digest, r.node);
+      if (!inserted && it->second.first != digest) {
+        out.push_back({"checkpoint-divergence",
+                       "group " + group + " version " + version +
+                           ": node " + std::to_string(r.node) +
+                           " cut digest " + digest + " but node " +
+                           std::to_string(it->second.second) + " cut " +
+                           it->second.first});
+      }
+    } else {
+      if (detail.find(" mismatch") != std::string::npos) {
+        out.push_back({"recovery-digest",
+                       "group " + group + ": node " +
+                           std::to_string(r.node) +
+                           " loaded a checkpoint whose digest did not match "
+                           "its recovered state (" + detail + ")"});
+        continue;
+      }
+      if (version.empty() || digest.empty()) continue;
+      auto it = cut_digests.find({group, version});
+      if (it != cut_digests.end() && it->second.first != digest) {
+        out.push_back({"recovery-digest",
+                       "group " + group + " version " + version +
+                           ": node " + std::to_string(r.node) + " loaded " +
+                           digest + " but the recorded cut was " +
+                           it->second.first});
+      }
     }
   }
 

@@ -3,8 +3,11 @@
 //   obsctl timeline <dump.bin|dir>...   per-operation timelines in total order
 //   obsctl latency  <dump.bin|dir>...   per-stage latency percentiles
 //   obsctl audit    <dump.bin|dir>...   invariant audit; exit 1 on violation
+//   obsctl events   <dump.bin|dir>...   raw journal-event stream, time-sorted
 //
 // Directories are scanned (non-recursively) for *.bin dumps, sorted by name.
+// `events` prints the membership/recovery/checkpoint narrative the audits
+// consume — the first thing to read when an audit convicts a run.
 //
 // For `audit`, each *directory* argument is its own run: operation ids are
 // deterministic per run, so dumps of different runs must never be merged
@@ -26,8 +29,9 @@ namespace fs = std::filesystem;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: obsctl <timeline|latency|audit> <dump.bin|dir>...\n");
+  std::fprintf(
+      stderr,
+      "usage: obsctl <timeline|latency|audit|events> <dump.bin|dir>...\n");
   return 2;
 }
 
@@ -93,10 +97,28 @@ int load_into(eternal::obsctl::Analysis& analysis,
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
-  if (cmd != "timeline" && cmd != "latency" && cmd != "audit") {
+  if (cmd != "timeline" && cmd != "latency" && cmd != "audit" &&
+      cmd != "events") {
     return usage();
   }
   const std::vector<std::string> args{argv + 2, argv + argc};
+
+  if (cmd == "events") {
+    const std::vector<std::string> files = expand(args);
+    if (files.empty()) {
+      std::fprintf(stderr, "obsctl: no dump files found\n");
+      return 2;
+    }
+    eternal::obsctl::Analysis analysis;
+    if (int rc = load_into(analysis, files)) return rc;
+    for (const auto& rec : analysis.records()) {
+      if (rec.stream != eternal::obsctl::FlightRecord::Stream::Journal) {
+        continue;
+      }
+      std::printf("%s\n", rec.str().c_str());
+    }
+    return 0;
+  }
 
   if (cmd == "timeline" || cmd == "latency") {
     const std::vector<std::string> files = expand(args);

@@ -17,6 +17,14 @@
 //   --fault-free    draw but never start the campaign (baseline)
 //   --inject-duplicate  forge a duplicate ExecStart before the audit
 //   --dump-dir DIR  write flight-recorder dumps of violating runs here
+//   --durable       per-node disks + journal/checkpoint plane
+//   --allow-domkill whole-domain power-cut motifs (implies --durable)
+//   --allow-diskfull disk-full motifs (implies --durable)
+//   --nested-ratio F  fraction of arrivals that are nested transfers [0]
+//   --crash-only    disable ring-splitting motifs (partitions, flapping,
+//                   links, gray, skew) — the recovery-soak profile, since
+//                   reconciling divergent journal tapes across a whole-
+//                   domain kill is a documented non-goal (DESIGN §12)
 //
 // Every violating schedule prints its exact one-line repro command; running
 // that command replays the schedule bit-identically (same seed, same
@@ -46,7 +54,9 @@ int usage() {
       "       soakctl plan --seed N [options]\n"
       "options: --nodes N --groups N --replicas N --clients N --rate R\n"
       "         --time-ms T --motifs N --churn-ms T --no-style-mix\n"
-      "         --fault-free --inject-duplicate --dump-dir DIR\n");
+      "         --fault-free --inject-duplicate --dump-dir DIR\n"
+      "         --durable --allow-domkill --allow-diskfull\n"
+      "         --nested-ratio F --crash-only\n");
   return 2;
 }
 
@@ -139,6 +149,28 @@ bool parse_args(int argc, char** argv, Cli& cli) {
       const char* n = next();
       if (!n) return false;
       cli.cfg.dump_dir = n;
+    } else if (arg == "--durable") {
+      cli.cfg.durable = true;
+    } else if (arg == "--allow-domkill") {
+      cli.cfg.durable = true;
+      cli.cfg.chaos.allow_domain_kill = true;
+    } else if (arg == "--allow-diskfull") {
+      cli.cfg.durable = true;
+      cli.cfg.chaos.allow_disk_full = true;
+    } else if (arg == "--nested-ratio") {
+      const char* n = next();
+      if (!n) return false;
+      cli.cfg.workload.nested_fraction = std::atof(n);
+      if (cli.cfg.workload.nested_fraction < 0 ||
+          cli.cfg.workload.nested_fraction > 1) {
+        return false;
+      }
+    } else if (arg == "--crash-only") {
+      cli.cfg.chaos.allow_partitions = false;
+      cli.cfg.chaos.allow_flapping = false;
+      cli.cfg.chaos.allow_links = false;
+      cli.cfg.chaos.allow_gray = false;
+      cli.cfg.chaos.allow_skew = false;
     } else {
       std::fprintf(stderr, "soakctl: unknown option %s\n", arg.c_str());
       return false;
@@ -157,6 +189,10 @@ void print_violations(const SoakResult& r) {
   }
   if (!r.dump_path.empty()) {
     std::printf("  dump: %s\n", r.dump_path.c_str());
+  }
+  if (!r.farm_dump_path.empty()) {
+    std::printf("  farm dump (recoverctl inspect): %s\n",
+                r.farm_dump_path.c_str());
   }
   std::printf("  repro: %s\n", r.repro.c_str());
 }
@@ -205,7 +241,15 @@ int cmd_plan(const Cli& cli) {
        i < std::min(cli.cfg.workload.clients, cli.cfg.nodes); ++i) {
     clients.push_back(static_cast<eternal::sim::NodeId>(i));
   }
-  ChaosPlan plan(domain, cli.cfg.chaos, clients, cli.seed);
+  eternal::soak::ChaosParams cp = cli.cfg.chaos;
+  if (cp.allow_domain_kill || cp.allow_disk_full) {
+    // Introspection only — the plan never fires, but the durability motifs
+    // gate on installed hooks, so stub them to match the runner's draw.
+    cp.hooks.kill = [](const std::vector<eternal::sim::NodeId>&, bool) {};
+    cp.hooks.recover = [] {};
+    cp.hooks.set_disk_full = [](eternal::sim::NodeId, bool) {};
+  }
+  ChaosPlan plan(domain, cp, clients, cli.seed);
   std::printf("campaign for seed %llu (%zu motif(s), window %llums+%llums):\n",
               static_cast<unsigned long long>(cli.seed), plan.motif_count(),
               static_cast<unsigned long long>(cli.cfg.chaos.start /
